@@ -1,0 +1,71 @@
+"""Embedding ablation: topology and connectivity effects on qubit usage.
+
+Reproduces the paper's Section VIII-A observations quantitatively:
+
+* Pegasus (Advantage) embeds the same problems with fewer physical
+  qubits and shorter chains than Chimera (the 2000Q topology);
+* for clique cover, adding edges *reduces* constraints and thus
+  physical-qubit usage (the 188 → 132 → 52 anecdote's shape).
+
+Benchmarks one embedding pass on the Pegasus profile.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealing import chimera_graph, find_embedding, pegasus_graph
+from repro.problems import CliqueCover, edge_scaling_graph
+
+from conftest import banner
+
+
+def interaction_graph(program):
+    g = nx.Graph()
+    g.add_nodes_from(program.qubo.variables)
+    g.add_edges_from(program.qubo.quadratic.keys())
+    return g
+
+
+def test_embedding_ablation(benchmark, full_scale):
+    pegasus = pegasus_graph(16)
+    chimera = chimera_graph(16)
+
+    banner("EMBEDDING ABLATION — Pegasus vs Chimera; clique-cover edge sweep")
+
+    # Topology comparison on a fixed problem.
+    from repro.problems import MapColoring, vertex_scaling_graph
+
+    program = MapColoring(vertex_scaling_graph(3), 3).build_env().to_qubo()
+    source = interaction_graph(program)
+    emb_p = find_embedding(source, pegasus, np.random.default_rng(0))
+    emb_c = find_embedding(source, chimera, np.random.default_rng(0))
+    print(f"map-coloring 9v/3col ({source.number_of_nodes()} logical):")
+    print(
+        f"  pegasus: {emb_p.num_physical_qubits} qubits, "
+        f"max chain {emb_p.max_chain_length}"
+    )
+    print(
+        f"  chimera: {emb_c.num_physical_qubits} qubits, "
+        f"max chain {emb_c.max_chain_length}"
+    )
+    assert emb_p.num_physical_qubits <= emb_c.num_physical_qubits
+
+    # Clique-cover edge sweep: more edges → fewer constraints → fewer qubits.
+    print("\nclique-cover edge sweep (48 one-hot variables):")
+    print(f"{'edges':>6} {'constraints':>12} {'physical_qubits':>16}")
+    usages = []
+    for edges in (18, 31, 48, 63):
+        inst = CliqueCover(edge_scaling_graph(edges), 4)
+        program = inst.build_env().to_qubo()
+        emb = find_embedding(
+            interaction_graph(program), pegasus, np.random.default_rng(1)
+        )
+        usages.append(emb.num_physical_qubits)
+        print(f"{edges:>6} {inst.nck_constraint_count():>12} {emb.num_physical_qubits:>16}")
+    print("\npaper: 18e→188q … 63e→52q on Advantage 4.1 (same direction).")
+    assert usages[-1] < usages[0]
+
+    source = interaction_graph(CliqueCover(edge_scaling_graph(31), 4).build_env().to_qubo())
+    rng = np.random.default_rng(2)
+    benchmark(lambda: find_embedding(source, pegasus, rng))

@@ -1,0 +1,63 @@
+"""Figure 10: NchooseK constraint count vs. transpiled circuit depth.
+
+Shape to compare: depth grows with constraints at a problem-specific
+rate (each constraint contributes QUBO terms, each nonzero term a
+rotation in the phase separator).  Benchmarks QAOA ansatz construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import qaoa_circuit
+from repro.experiments import fig8_10, format_table
+from repro.qubo import qubo_to_ising
+
+from conftest import banner
+
+
+@pytest.fixture(scope="module")
+def metrics(full_scale):
+    config = fig8_10.Fig8Config(seed=2022)
+    if full_scale:
+        return fig8_10.run(config=config)
+    from repro.experiments.scaling import cover_study, sat_study, vertex_study
+
+    points = (
+        vertex_study(triangles=(2, 3, 4))
+        + cover_study(sizes=((4, 4), (8, 8)))
+        + sat_study(sizes=((4, 6), (6, 10)))
+    )
+    return fig8_10.run(points=points, config=config)
+
+
+def test_fig10_constraints_vs_depth(benchmark, metrics):
+    banner("FIGURE 10 — constraints vs. circuit depth (ibmq_brooklyn profile)")
+    rows = sorted(metrics, key=lambda m: (m.problem, m.constraints))
+    print(format_table(rows, columns=["problem", "label", "constraints", "depth"]))
+
+    # Within each problem, depth should be non-decreasing with
+    # constraints in the aggregate (allowing local exceptions, which the
+    # paper also observes): check the per-problem rank correlation is
+    # positive overall.
+    by_problem: dict = {}
+    for m in metrics:
+        by_problem.setdefault(m.problem, []).append(m)
+    correlations = []
+    for ms in by_problem.values():
+        if len(ms) < 2:
+            continue
+        cs = np.array([m.constraints for m in ms], dtype=float)
+        ds = np.array([m.depth for m in ms], dtype=float)
+        if cs.std() == 0 or ds.std() == 0:
+            continue
+        correlations.append(float(np.corrcoef(cs, ds)[0, 1]))
+    print(f"\nper-problem constraint↔depth correlations: "
+          f"{[f'{c:.2f}' for c in correlations]}")
+    assert np.mean(correlations) > 0
+
+    # Kernel: build the phase-separator circuit for a mid-size program.
+    from repro.problems import MapColoring, vertex_scaling_graph
+
+    program = MapColoring(vertex_scaling_graph(4), 3).build_env().to_qubo()
+    model = qubo_to_ising(program.qubo)
+    benchmark(lambda: qaoa_circuit(model, np.array([0.7]), np.array([0.3])))

@@ -1,0 +1,46 @@
+"""Figure 11: QAOA job run time vs. number of variables (boxplots).
+
+Shape to compare: job times spread over 7–23 s with no correlation to
+problem size (flat medians).  Benchmarks one QAOA classical-loop
+iteration (circuit build + exact expectation), the client-side cost the
+paper calls "two to three seconds per job" at cloud scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QAOA
+from repro.experiments import fig11, format_table
+from repro.qubo import qubo_to_ising
+
+from conftest import banner
+
+
+def test_fig11_job_times(benchmark, full_scale):
+    obs = fig11.run()
+    rows = fig11.boxplot_summary(obs)
+
+    banner("FIGURE 11 — QAOA job run time vs. #variables (boxplot summary)")
+    header = f"{'vars':>5} {'count':>6} {'min':>6} {'q1':>6} {'med':>6} {'q3':>6} {'max':>6}"
+    print(header)
+    for r in rows:
+        print(
+            f"{r['num_variables']:>5} {r['count']:>6} {r['min']:>6.1f} "
+            f"{r['q1']:>6.1f} {r['median']:>6.1f} {r['q3']:>6.1f} {r['max']:>6.1f}"
+        )
+
+    medians = [r["median"] for r in rows]
+    spread = max(medians) - min(medians)
+    print(f"\nmedian spread across sizes: {spread:.2f}s (paper: no size correlation)")
+    assert all(7.0 <= r["min"] and r["max"] <= 23.0 for r in rows)
+    # Medians stay well inside the band — no systematic size trend.
+    assert spread < 8.0
+
+    # Kernel: one optimizer iteration on a 9-variable problem.
+    from repro.problems import MaxCut, vertex_scaling_graph
+
+    program = MaxCut(vertex_scaling_graph(3)).build_env().to_qubo()
+    model = qubo_to_ising(program.qubo)
+    qaoa = QAOA(layers=1, maxiter=1)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: qaoa.optimize(model, rng=rng))

@@ -1,0 +1,40 @@
+"""Figure 12: classical minimum-vertex-cover solve time on circulant graphs.
+
+Shape to compare: times over the tested window fit a polynomial in the
+node count ("fit very close to a polynomial equation"); the harness
+reports the fitted degree and R².  Benchmarks a single classical solve.
+"""
+
+import pytest
+
+from repro.experiments import fig12
+from repro.problems import MinVertexCover, circulant_graph
+
+from conftest import banner
+
+
+def test_fig12_classical_scaling(benchmark, full_scale):
+    config = fig12.Fig12Config(
+        sizes=(9, 15, 21, 27, 33, 39) if full_scale else (9, 15, 21, 27),
+        repetitions=30 if full_scale else 10,
+    )
+    points = fig12.run(config)
+    fit = fig12.polynomial_fit(points)
+
+    banner("FIGURE 12 — classical MVC solve time on circulant graphs")
+    print(f"{'nodes':>6} {'median_s':>10} {'cover':>6}")
+    by_n: dict = {}
+    for p in points:
+        by_n.setdefault(p.num_nodes, []).append(p)
+    for n in sorted(by_n):
+        med = sorted(x.solve_time_s for x in by_n[n])[len(by_n[n]) // 2]
+        print(f"{n:>6} {med:>10.4f} {by_n[n][0].cover_size:>6}")
+    print(
+        f"\npolynomial fit over the window: t ≈ {fit['coefficient']:.2e}"
+        f" · n^{fit['degree']:.2f}   (R² = {fit['r_squared']:.3f})"
+    )
+
+    assert fit["r_squared"] > 0.7  # "very close to a polynomial" locally
+
+    env = MinVertexCover(circulant_graph(21)).build_env()
+    benchmark(lambda: env.solve())

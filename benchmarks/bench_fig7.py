@@ -1,0 +1,72 @@
+"""Figure 7: % optimal results vs. physical qubits on the D-Wave profile.
+
+Prints the tally per (problem, size): physical qubits used, % optimal,
+% correct (optimal+suboptimal).  The shapes to compare against the paper:
+
+* soft/mixed problems score lower on *optimal* but higher on *correct*
+  than hard-only problems at similar qubit counts;
+* success decays with physical qubits;
+* clique cover's qubit usage falls as edges are added (edge study).
+
+Benchmarks one 100-read annealing job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealing import AnnealingDevice, AnnealingDeviceProfile
+from repro.experiments import fig7, format_table
+from repro.experiments.scaling import cover_study, edge_study, sat_study, vertex_study
+
+from conftest import banner
+
+
+def study_points(full: bool):
+    if full:
+        return (
+            vertex_study()
+            + edge_study()
+            + cover_study()
+            + sat_study()
+        )
+    return (
+        vertex_study(triangles=(3, 5, 7))
+        + edge_study(edges=(18, 31, 48, 63))
+        + cover_study(sizes=((4, 4), (8, 8), (12, 12)))
+        + sat_study(sizes=((5, 8), (8, 14)))
+    )
+
+
+def test_fig7_dwave_quality(benchmark, full_scale):
+    config = fig7.Fig7Config(num_reads=100, seed=2022)
+    tallies = fig7.run(points=study_points(full_scale), config=config)
+
+    banner("FIGURE 7 — % optimal vs. physical qubits (Advantage 4.1 profile)")
+    rows = sorted(tallies, key=lambda t: (t.problem, t.physical_qubits))
+    print(format_table(rows, columns=None))
+    print("\nper-problem series (physical_qubits → %optimal / %correct):")
+    by_problem: dict = {}
+    for t in tallies:
+        by_problem.setdefault(t.problem, []).append(t)
+    for problem, ts in sorted(by_problem.items()):
+        series = ", ".join(
+            f"{t.physical_qubits}q→{t.pct_optimal:.0f}%/{t.pct_correct:.0f}%"
+            for t in sorted(ts, key=lambda t: t.physical_qubits)
+        )
+        print(f"  {problem:18s} {series}")
+
+    assert tallies, "no instance embedded"
+
+    # Kernel: one 100-read job on a mid-size mixed problem.
+    from repro.problems import MinVertexCover, vertex_scaling_graph
+
+    device = AnnealingDevice(AnnealingDeviceProfile.advantage41())
+    env = MinVertexCover(vertex_scaling_graph(5)).build_env()
+    program = env.to_qubo()
+    embedding = device.embed(program, rng=np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    benchmark(
+        lambda: device.sample(
+            env, num_reads=100, rng=rng, program=program, embedding=embedding
+        )
+    )

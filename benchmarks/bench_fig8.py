@@ -1,0 +1,47 @@
+"""Figure 8: qubits used per problem on the IBM profile, with quality marks.
+
+Prints, per problem/size: logical and physical qubit counts and the
+Definition 8 label of the single QAOA result.  Shape to compare: optimal
+at small qubit counts giving way to suboptimal/incorrect as usage grows
+(the paper's "discrete barrier").  Benchmarks one full QAOA execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CircuitDevice, CircuitDeviceProfile
+from repro.experiments import fig8_10, format_table
+
+from conftest import banner
+
+
+@pytest.fixture(scope="module")
+def metrics(full_scale):
+    config = fig8_10.Fig8Config(seed=2022)
+    if full_scale:
+        return fig8_10.run(config=config)
+    from repro.experiments.scaling import cover_study, sat_study, vertex_study
+
+    points = (
+        vertex_study(triangles=(2, 3, 4))
+        + cover_study(sizes=((4, 4), (8, 8)))
+        + sat_study(sizes=((4, 6), (6, 10)))
+    )
+    return fig8_10.run(points=points, config=config)
+
+
+def test_fig8_qubits_used(benchmark, metrics):
+    banner("FIGURE 8 — qubits used per problem (ibmq_brooklyn profile)")
+    rows = sorted(metrics, key=lambda m: (m.problem, m.qubits_used))
+    print(format_table(rows, columns=["problem", "label", "logical_variables", "qubits_used", "quality"]))
+
+    assert metrics
+    assert all(m.qubits_used <= 65 for m in metrics)
+
+    from repro.problems import MaxCut, vertex_scaling_graph
+
+    device = CircuitDevice(CircuitDeviceProfile.brooklyn())
+    env = MaxCut(vertex_scaling_graph(3)).build_env()
+    program = env.to_qubo()
+    rng = np.random.default_rng(0)
+    benchmark(lambda: device.sample(env, rng=rng, program=program))

@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the numerical kernels (HPC-guide hygiene).
+
+Not tied to a paper figure; these watch the hot paths the experiment
+drivers lean on so performance regressions surface here first:
+
+* vectorized simulated-annealing sweeps;
+* statevector gate application;
+* batch QUBO energy evaluation;
+* per-constraint QUBO synthesis (LP and MILP paths).
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealing import AnnealSchedule, SimulatedAnnealingSampler
+from repro.circuit import Circuit, StatevectorSimulator
+from repro.compile import synthesize_constraint_qubo
+from repro.core import nck
+from repro.qubo import QUBO, qubo_to_ising
+
+
+def random_qubo(rng, n, density=0.3) -> QUBO:
+    q = QUBO()
+    for i in range(n):
+        q.add_linear(f"v{i:03d}", float(rng.normal()))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                q.add_quadratic(f"v{i:03d}", f"v{j:03d}", float(rng.normal()))
+    return q
+
+
+def test_sa_sweep_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    model = qubo_to_ising(random_qubo(rng, 200))
+    sampler = SimulatedAnnealingSampler(AnnealSchedule(num_sweeps=64))
+    sample_rng = np.random.default_rng(1)
+    benchmark(lambda: sampler.sample(model, num_reads=100, rng=sample_rng))
+
+
+def test_statevector_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    circ = Circuit(16)
+    for q in range(16):
+        circ.add("h", q)
+    for _ in range(100):
+        a, b = rng.choice(16, size=2, replace=False)
+        circ.add("rzz", (int(a), int(b)), float(rng.normal()))
+        circ.add("rx", int(rng.integers(16)), float(rng.normal()))
+    sim = StatevectorSimulator()
+    benchmark(lambda: sim.probabilities(circ))
+
+
+def test_batch_energy_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    q = random_qubo(rng, 100)
+    X = rng.integers(0, 2, size=(2000, 100)).astype(float)
+    variables = q.variables
+    benchmark(lambda: q.energies(X, variables))
+
+
+def test_synthesis_lp_path(benchmark):
+    benchmark(lambda: synthesize_constraint_qubo(
+        nck(["a", "b", "c", "d"], [1, 2]), allow_closed_form=False
+    ))
+
+
+def test_synthesis_milp_path(benchmark):
+    benchmark(lambda: synthesize_constraint_qubo(
+        nck(["a", "b", "c"], [0, 2]), allow_closed_form=False
+    ))

@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures: it prints the measured rows/series (compare shapes against the
+paper) and registers a representative kernel with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_BENCH_FULL=1`` to run the full-scale studies (several
+minutes); the default configuration is a faithful but smaller sweep.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Section IX, implemented: constraint-preserving mixers for QAOA.
+
+The paper's future-work section points at the Quantum Alternating
+Operator Ansatz: "the custom mixers used in this version of QAOA seem
+especially appropriate to NchooseK problems with both hard and soft
+constraints."  This example demonstrates why, on a weighted one-hot
+selection problem:
+
+* hard constraint  — exactly one of five options chosen: nck({...},{1});
+* soft constraints — a preference ordering over the options.
+
+With the standard transverse-field mixer, QAOA explores the entire
+32-state hypercube and the one-hot constraint survives only as an energy
+penalty — shots can and do violate it.  With the XY-ring mixer the walk
+is confined to the 5-state one-hot subspace: *every* shot satisfies the
+hard constraint structurally, and the optimization only has to sort out
+the soft preferences.
+
+Run:  python examples/custom_mixer_qaoa.py
+"""
+
+import numpy as np
+
+from repro.circuit import QAOA, XYRingMixer
+from repro.core import Env
+from repro.qubo import qubo_to_ising
+
+OPTIONS = ["compute", "memory", "network", "storage", "accelerator"]
+#: Soft-preference weights: lower = more preferred.
+WEIGHTS = {"compute": 3, "memory": 2, "network": 5, "storage": 1, "accelerator": 4}
+
+
+def build_program() -> Env:
+    env = Env()
+    env.nck(OPTIONS, [1])  # hard: choose exactly one
+    # Soft preference: penalize choosing each option proportionally by
+    # repeating the prefer-false idiom (integral weights as repetition).
+    for option, weight in WEIGHTS.items():
+        for _ in range(weight):
+            env.prefer_false(option)
+    return env
+
+
+def hamming_weight(state: int, n: int) -> int:
+    return bin(state).count("1")
+
+
+def main() -> None:
+    env = build_program()
+    program = env.to_qubo()
+    model = qubo_to_ising(program.qubo)
+    n = len(OPTIONS)
+
+    print(f"problem: choose 1 of {n} options, preferring low weights {WEIGHTS}")
+    print(f"compiled QUBO: {program.qubo.num_terms()} terms\n")
+
+    rng_seed = 7
+    for label, qaoa in [
+        ("standard transverse-field mixer", QAOA(layers=2, maxiter=40)),
+        (
+            "XY-ring mixer (Hamming-weight preserving)",
+            QAOA(layers=2, maxiter=40, mixer=XYRingMixer(hamming_weight=1)),
+        ),
+    ]:
+        result = qaoa.optimize(model, rng=np.random.default_rng(rng_seed))
+        shots = sum(result.counts.values())
+        feasible = sum(
+            c for s, c in result.counts.items() if hamming_weight(s, n) == 1
+        )
+        choice = [result.variables[i] for i, b in enumerate(result.best_bits) if b]
+        print(f"{label}:")
+        print(f"  feasible shots : {feasible}/{shots} ({100.0 * feasible / shots:.1f}%)")
+        print(f"  best shot      : {choice}")
+        print(f"  ⟨H⟩ at optimum : {result.expectation:.3f}\n")
+
+    print(
+        "The XY mixer keeps 100% of shots inside the one-hot subspace —\n"
+        "the hard constraint cannot be violated by construction, which is\n"
+        "exactly the property the paper's future-work section is after."
+    )
+
+
+if __name__ == "__main__":
+    main()

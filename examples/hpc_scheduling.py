@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""HPC job scheduling with mixed hard and soft constraints.
+
+The paper motivates NchooseK with HPC acceleration: QPUs as co-processors
+for hard combinatorial kernels.  This example runs one such kernel — a
+conflict-aware job placement — end to end:
+
+* a cluster offers ``NUM_SLOTS`` scheduling slots;
+* each job must land in exactly one slot (hard, one-hot);
+* conflicting jobs — e.g. both saturate the same parallel filesystem —
+  may not share a slot (hard, per conflict per slot);
+* early slots are preferred, so the makespan stays short (soft: prefer
+  each job out of each late slot, weighted by lateness).
+
+This is graph coloring with a soft preference ordering — precisely the
+hard+soft mix the paper's generalization enables (plain NchooseK could
+place the jobs but not prefer shorter schedules).
+
+Run:  python examples/hpc_scheduling.py
+"""
+
+import numpy as np
+
+from repro.annealing import AnnealingDevice, AnnealingDeviceProfile
+from repro.classical import ExactNckSolver
+from repro.core import Env
+
+JOBS = ["lattice-qcd", "cfd-mesh", "genome-asm", "climate-ens", "ml-train", "viz-batch"]
+
+#: Pairs that must not run simultaneously (shared-resource conflicts).
+CONFLICTS = [
+    ("lattice-qcd", "cfd-mesh"),
+    ("lattice-qcd", "climate-ens"),
+    ("cfd-mesh", "genome-asm"),
+    ("genome-asm", "ml-train"),
+    ("climate-ens", "ml-train"),
+    ("ml-train", "viz-batch"),
+    ("cfd-mesh", "climate-ens"),
+]
+
+NUM_SLOTS = 3
+
+
+def var(job: str, slot: int) -> str:
+    return f"{job}@t{slot}"
+
+
+def build_program() -> Env:
+    env = Env()
+    for job in JOBS:
+        env.nck([var(job, t) for t in range(NUM_SLOTS)], [1])  # one slot each
+    for a, b in CONFLICTS:
+        for t in range(NUM_SLOTS):
+            env.nck([var(a, t), var(b, t)], [0, 1])  # never share a slot
+    # Soft: prefer early slots; lateness t costs t preference units,
+    # expressed by repeating the prefer-false idiom t times.
+    for job in JOBS:
+        for t in range(1, NUM_SLOTS):
+            for _ in range(t):
+                env.nck([var(job, t)], [0], soft=True)
+    return env
+
+
+def show_schedule(env: Env, assignment: dict) -> int:
+    makespan_cost = 0
+    for t in range(NUM_SLOTS):
+        placed = sorted(j for j in JOBS if assignment[var(j, t)])
+        makespan_cost += t * len(placed)
+        print(f"  slot {t}: {', '.join(placed) if placed else '—'}")
+    return makespan_cost
+
+
+def main() -> None:
+    env = build_program()
+    print(
+        f"{len(JOBS)} jobs, {len(CONFLICTS)} conflicts, {NUM_SLOTS} slots → "
+        f"{env.num_variables} variables, "
+        f"{len(env.hard_constraints)} hard + {len(env.soft_constraints)} soft constraints"
+    )
+
+    classical = ExactNckSolver().solve(env)
+    print("\noptimal schedule (classical exact):")
+    best_cost = show_schedule(env, classical.assignment)
+    print(f"  total lateness: {best_cost}")
+
+    device = AnnealingDevice(AnnealingDeviceProfile.advantage41())
+    samples = device.sample(env, num_reads=100, rng=np.random.default_rng(4))
+    best = samples.best
+    print(
+        f"\nannealer ({samples.metadata['physical_qubits']} physical qubits, "
+        f"best of 100 reads):"
+    )
+    if best.all_hard_satisfied:
+        cost = show_schedule(env, best.assignment)
+        print(
+            f"  total lateness: {cost} "
+            f"({'optimal' if cost == best_cost else 'suboptimal'})"
+        )
+    else:
+        print("  best read violated a hard constraint")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Map coloring: color mainland Australia's states with three colors.
+
+The classic CSP demo, expressed with the paper's one-hot NchooseK
+formulation (Section VI-A.d): one ``nck({v_red, v_green, v_blue}, {1})``
+per state, and ``nck({u_c, v_c}, {0, 1})`` per border per color.
+
+Solves classically for ground truth, then on the simulated D-Wave
+Advantage and prints the embedding statistics that drive Figure 7's
+x-axis.
+
+Run:  python examples/map_coloring_demo.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.annealing import AnnealingDevice, AnnealingDeviceProfile
+from repro.problems import MapColoring
+
+#: Mainland Australia: states and their land borders.
+BORDERS = [
+    ("WA", "NT"),
+    ("WA", "SA"),
+    ("NT", "SA"),
+    ("NT", "QLD"),
+    ("SA", "QLD"),
+    ("SA", "NSW"),
+    ("SA", "VIC"),
+    ("QLD", "NSW"),
+    ("NSW", "VIC"),
+]
+COLORS = ["red", "green", "blue"]
+
+
+def main() -> None:
+    graph = nx.Graph(BORDERS)
+    instance = MapColoring(graph, num_colors=len(COLORS))
+    env = instance.build_env()
+
+    print(f"states: {sorted(graph.nodes)}")
+    print(f"borders: {len(BORDERS)}, colors: {len(COLORS)}")
+    print(
+        f"NchooseK program: {env.num_constraints} constraints over "
+        f"{env.num_variables} variables "
+        f"({instance.nonsymmetric_constraint_count()} non-symmetric classes)"
+    )
+
+    program = env.to_qubo()
+    print(f"compiled QUBO: {program.qubo.num_terms()} terms")
+
+    # Classical ground truth.
+    classical = env.solve()
+    assert instance.verify(classical.assignment)
+
+    # Simulated Advantage 4.1.
+    device = AnnealingDevice(AnnealingDeviceProfile.advantage41())
+    samples = device.sample(env, num_reads=100, rng=np.random.default_rng(0))
+    print(
+        f"\nannealer: {samples.metadata['physical_qubits']} physical qubits "
+        f"for {samples.metadata['logical_variables']} logical variables "
+        f"(max chain {samples.metadata['max_chain_length']}) — "
+        f"{samples.metadata['broken_chains']} broken chains in 100 reads"
+    )
+
+    best = samples.best
+    coloring = instance.coloring(best.assignment)
+    if coloring is not None and instance.verify(best.assignment):
+        print("\ncoloring found by the annealer:")
+        for state in sorted(graph.nodes):
+            print(f"  {state:4s} → {COLORS[coloring[state]]}")
+    else:
+        print("\nbest annealer read violated a constraint; classical fallback:")
+        coloring = instance.coloring(classical.assignment)
+        for state in sorted(graph.nodes):
+            print(f"  {state:4s} → {COLORS[coloring[state]]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Max Cut with soft constraints — the paper's all-soft showcase.
+
+One soft constraint per edge, ``nck({u, v}, {1}, soft)``, expresses "we'd
+like every edge cut"; the backend maximizes the satisfied count.  The
+demo compares the paper's two encodings, then runs QAOA on the simulated
+ibmq_brooklyn and reports the circuit metrics of Figures 8–10.
+
+Run:  python examples/max_cut_demo.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.circuit import CircuitDevice, CircuitDeviceProfile
+from repro.problems import MaxCut
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    graph = nx.gnp_random_graph(9, 0.4, seed=7)
+    instance = MaxCut(graph)
+
+    direct = instance.build_env()
+    indicator = instance.build_env_indicator()
+    print("encodings (paper Section IV-C):")
+    print(
+        f"  direct soft-edge : {direct.num_variables:3d} variables, "
+        f"{direct.num_constraints:3d} constraints"
+    )
+    print(
+        f"  cut indicators   : {indicator.num_variables:3d} variables, "
+        f"{indicator.num_constraints:3d} constraints  (the 'many unnecessary"
+        f" variables' route)"
+    )
+
+    optimum = instance.optimal_cut_size()
+    print(f"\nexact maximum cut: {optimum} of {graph.number_of_edges()} edges")
+
+    device = CircuitDevice(CircuitDeviceProfile.brooklyn())
+    samples = device.sample(direct, rng=np.random.default_rng(1))
+    best = samples.best
+    cut = instance.cut_size(best.assignment)
+
+    meta = samples.metadata
+    print("\nQAOA on the simulated ibmq_brooklyn:")
+    print(f"  qubits used      : {meta['qubits_used']} (Figure 8 metric)")
+    print(f"  circuit depth    : {meta['depth']} (Figure 9 metric)")
+    print(f"  swaps inserted   : {meta['num_swaps']}")
+    print(f"  circuit fidelity : {meta['fidelity']:.3f}")
+    print(f"  result           : cut {cut}/{optimum} "
+          f"({'optimal' if cut == optimum else 'suboptimal'})")
+
+    sides = {v: best.assignment[name] for v, name in instance._names.items()}
+    left = sorted(v for v, s in sides.items() if s)
+    right = sorted(v for v, s in sides.items() if not s)
+    print(f"  partition        : {left} | {right}")
+
+
+if __name__ == "__main__":
+    main()

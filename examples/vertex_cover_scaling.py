@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""A miniature Figure 7/8: scale minimum vertex cover on both devices.
+
+Walks the paper's vertex-scaling family (chains of 3-cliques), running
+each size on the simulated Advantage (100 reads) and — while it fits —
+the simulated ibmq_brooklyn (single QAOA result), labeling every result
+optimal / suboptimal / incorrect against the classical ground truth.
+
+Run:  python examples/vertex_cover_scaling.py
+"""
+
+import numpy as np
+
+from repro.annealing import AnnealingDevice, AnnealingDeviceProfile
+from repro.circuit import CircuitDevice, CircuitDeviceProfile
+from repro.core import SolutionQuality
+from repro.experiments import max_soft_satisfiable
+from repro.problems import MinVertexCover, vertex_scaling_graph
+
+
+def main() -> None:
+    annealer = AnnealingDevice(AnnealingDeviceProfile.advantage41())
+    circuit = CircuitDevice(CircuitDeviceProfile.brooklyn())
+
+    print(
+        f"{'vertices':>8} {'truth':>6} │ {'anneal %opt':>11} {'%corr':>6} "
+        f"{'phys.q':>7} │ {'qaoa result':>12} {'depth':>6}"
+    )
+    print("─" * 72)
+
+    for k in (2, 3, 5, 7, 9):
+        graph = vertex_scaling_graph(k)
+        instance = MinVertexCover(graph)
+        env = instance.build_env()
+        truth = max_soft_satisfiable(instance, env)
+        optimal_cover = graph.number_of_nodes() - truth
+
+        program = env.to_qubo()
+        rng = np.random.default_rng(k)
+
+        # Annealer: 100 reads, count per-read quality.
+        embedding = annealer.embed(program, rng=rng)
+        samples = annealer.sample(
+            env, num_reads=100, rng=rng, program=program, embedding=embedding
+        )
+        opt = sum(1 for s in samples if s.quality(truth) is SolutionQuality.OPTIMAL)
+        cor = sum(1 for s in samples if s.all_hard_satisfied)
+
+        # Circuit device: one QAOA result (while the QUBO fits 65 qubits).
+        if program.qubo.num_variables <= 65:
+            css = circuit.sample(env, rng=np.random.default_rng(k), program=program)
+            quality = css.best.quality(truth).value
+            depth = css.metadata["depth"]
+        else:
+            quality, depth = "n/a", 0
+
+        print(
+            f"{graph.number_of_nodes():>8} {optimal_cover:>6} │ "
+            f"{opt:>10d}% {cor:>5d}% {embedding.num_physical_qubits:>7} │ "
+            f"{quality:>12} {depth:>6}"
+        )
+
+    print(
+        "\nShapes to compare with the paper: annealer %optimal decays with\n"
+        "physical qubits while %correct stays higher (mixed problem);\n"
+        "QAOA flips optimal → suboptimal/incorrect as depth grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""NchooseK with hard and soft constraints — SC22 reproduction.
+
+Top-level conveniences re-export the core programming surface::
+
+    from repro import Env, nck
+    env = Env()
+    env.nck(["a", "b"], [1, 2])
+    solution = env.solve()
+
+Subpackages: :mod:`repro.core` (DSL), :mod:`repro.compile` (QUBO
+compiler), :mod:`repro.qubo` (IR), :mod:`repro.classical` /
+:mod:`repro.annealing` / :mod:`repro.circuit` (backends),
+:mod:`repro.problems` (Table I workloads), :mod:`repro.experiments`
+(paper tables/figures), :mod:`repro.io` (serialization).
+"""
+
+from .core import Env, SampleSet, Solution, SolutionQuality, Var, nck
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Env",
+    "SampleSet",
+    "Solution",
+    "SolutionQuality",
+    "Var",
+    "nck",
+    "__version__",
+]

@@ -1,0 +1,159 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig7 [--full] [--seed N]
+    python -m repro fig8 | fig9 | fig10 | fig11 | fig12
+    python -m repro timing
+    python -m repro report [-o report.md]
+    python -m repro all [--full]
+
+Each subcommand prints the measured rows/series of one paper artifact
+(the same output the benchmark harness produces, without pytest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _table1(args) -> None:
+    from .experiments import table1
+
+    print(table1.render(table1.run()))
+
+
+def _fig7(args) -> None:
+    from .experiments import fig7, format_table
+    from .experiments.plotting import ascii_series
+    from .experiments.scaling import cover_study, edge_study, sat_study, vertex_study
+
+    if args.full:
+        points = None
+    else:
+        points = (
+            vertex_study(triangles=(3, 5, 7))
+            + edge_study(edges=(18, 31, 48, 63))
+            + cover_study(sizes=((4, 4), (8, 8), (12, 12)))
+            + sat_study(sizes=((5, 8), (8, 14)))
+        )
+    tallies = fig7.run(points=points, config=fig7.Fig7Config(seed=args.seed))
+    print(format_table(sorted(tallies, key=lambda t: (t.problem, t.physical_qubits))))
+    series = {}
+    for t in tallies:
+        series.setdefault(t.problem, []).append((t.physical_qubits, t.pct_optimal))
+    print("\nFigure 7 — % optimal vs physical qubits:")
+    print(ascii_series(series, x_label="physical qubits", y_label="% optimal"))
+
+
+def _fig8_10(args, which: str) -> None:
+    from .experiments import fig8_10, format_table
+    from .experiments.plotting import ascii_series
+
+    metrics = fig8_10.run(config=fig8_10.Fig8Config(seed=args.seed))
+    columns = {
+        "fig8": ["problem", "label", "logical_variables", "qubits_used", "quality"],
+        "fig9": ["problem", "label", "depth", "quality"],
+        "fig10": ["problem", "label", "constraints", "depth"],
+    }[which]
+    print(format_table(sorted(metrics, key=lambda m: (m.problem, m.depth)), columns))
+    if which == "fig10":
+        series = {}
+        for m in metrics:
+            series.setdefault(m.problem, []).append((m.constraints, m.depth))
+        print("\nFigure 10 — constraints vs depth:")
+        print(ascii_series(series, x_label="constraints", y_label="depth"))
+
+
+def _fig11(args) -> None:
+    from .experiments import fig11
+
+    obs = fig11.run()
+    for row in fig11.boxplot_summary(obs):
+        print(
+            f"vars={row['num_variables']:<4} n={row['count']:<4} "
+            f"min={row['min']:.1f} q1={row['q1']:.1f} med={row['median']:.1f} "
+            f"q3={row['q3']:.1f} max={row['max']:.1f}"
+        )
+
+
+def _fig12(args) -> None:
+    from .experiments import fig12
+
+    config = fig12.Fig12Config(
+        sizes=(9, 15, 21, 27, 33, 39) if args.full else (9, 15, 21, 27),
+        repetitions=30 if args.full else 10,
+    )
+    points = fig12.run(config)
+    fit = fig12.polynomial_fit(points)
+    for n, median in sorted(fit["medians"].items()):
+        print(f"nodes={n:<4} median={median:.4f}s")
+    print(
+        f"fit: t ≈ {fit['coefficient']:.2e} · n^{fit['degree']:.2f} "
+        f"(R² = {fit['r_squared']:.3f})"
+    )
+
+
+def _report(args) -> None:
+    from .experiments.report import generate_report
+
+    text = generate_report(seed=args.seed, full=args.full)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+
+
+def _timing(args) -> None:
+    from .experiments.timing import dwave_job_breakdown, ibm_execution_breakdown
+
+    print("D-Wave job breakdown (s):")
+    for key, value in dwave_job_breakdown(100).items():
+        print(f"  {key:16s} {value:.4f}")
+    print("IBM QAOA execution breakdown (s):")
+    for key, value in ibm_execution_breakdown().items():
+        print(f"  {key:24s} {value:.1f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("artifact", choices=[
+        "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "timing",
+        "report", "all",
+    ])
+    parser.add_argument("--full", action="store_true", help="full-scale sweeps")
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("-o", "--output", default=None, help="report output path")
+    args = parser.parse_args(argv)
+
+    dispatch = {
+        "table1": lambda: _table1(args),
+        "report": lambda: _report(args),
+        "fig7": lambda: _fig7(args),
+        "fig8": lambda: _fig8_10(args, "fig8"),
+        "fig9": lambda: _fig8_10(args, "fig9"),
+        "fig10": lambda: _fig8_10(args, "fig10"),
+        "fig11": lambda: _fig11(args),
+        "fig12": lambda: _fig12(args),
+        "timing": lambda: _timing(args),
+    }
+    if args.artifact == "all":
+        for name, fn in dispatch.items():
+            if name == "report":
+                continue
+            print(f"\n{'=' * 74}\n{name.upper()}\n{'=' * 74}")
+            fn()
+    else:
+        dispatch[args.artifact]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Annealing substrate: topology, embedding, sampler, noise, device."""
+
+from .device import AnnealingDevice, AnnealingDeviceProfile
+from .embedding import Embedding, EmbeddingError, find_embedding
+from .noise import ICENoiseModel, NoiselessModel
+from .sampler import AnnealSchedule, ExactIsingSolver, SampleResult, SimulatedAnnealingSampler
+from .timing import AnnealTimingModel
+from .topology import chimera_graph, pegasus_graph, random_disabled_qubits
+
+__all__ = [
+    "AnnealSchedule",
+    "AnnealTimingModel",
+    "AnnealingDevice",
+    "AnnealingDeviceProfile",
+    "Embedding",
+    "EmbeddingError",
+    "ExactIsingSolver",
+    "ICENoiseModel",
+    "NoiselessModel",
+    "SampleResult",
+    "SimulatedAnnealingSampler",
+    "chimera_graph",
+    "find_embedding",
+    "pegasus_graph",
+    "random_disabled_qubits",
+]

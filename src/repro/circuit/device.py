@@ -1,0 +1,266 @@
+"""The circuit-model device backend (ibmq_brooklyn stand-in).
+
+Executing an NchooseK program here follows the paper's Qiskit path:
+
+1. compile the program to a QUBO and convert to an Ising problem
+   Hamiltonian;
+2. build the QAOA ansatz (phase separator from the Hamiltonian terms,
+   transverse-field mixer);
+3. transpile onto the 65-qubit heavy-hex coupling map — layout, SWAP
+   routing, basis decomposition — which yields the qubit and depth
+   numbers of Figures 8–10;
+4. run QAOA's classical optimization loop and draw a 4000-shot final
+   sample through the noise model; the lowest-energy measured bitstring
+   is *the* result (QAOA "returns a single result", Section VIII-B).
+
+Exact execution model vs. structural model
+------------------------------------------
+Up to :attr:`CircuitDeviceProfile.exact_simulation_limit` qubits the QAOA
+loop runs on the dense statevector simulator and the final histogram is
+noise-corrupted per the transpiled circuit's fidelity — a faithful noisy
+simulation.  Beyond the limit (dense simulation of 65 qubits being
+physically impossible on a classical host), the device switches to a
+*structural execution model*: transpilation still produces real depth and
+qubit counts, while the final histogram is drawn from a surrogate sampler
+— a short, deliberately under-converged simulated anneal standing in for
+the partially-converged QAOA distribution — mixed with depolarized
+(uniform) shots at the rate set by the transpiled circuit's fidelity.
+The surrogate is calibrated on the simulable range and documented in
+DESIGN.md; it preserves the optimal → suboptimal → incorrect progression
+with scale that the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import networkx as nx
+import numpy as np
+
+from ..compile.program import CompiledProgram
+from ..core.solution import SampleSet, Solution
+from ..qubo.ising import IsingModel, qubo_to_ising
+from .circuit import Circuit
+from .coupling import brooklyn_coupling_map
+from .noise import CircuitNoiseModel, NoiselessCircuitModel
+from .qaoa import QAOA, cost_diagonal, qaoa_circuit
+from .timing import CircuitTimingModel
+from .transpiler import Transpiler, TranspileResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.env import Env
+
+
+@dataclass
+class CircuitDeviceProfile:
+    """Hardware profile: coupling map + noise + timing + limits."""
+
+    name: str
+    coupling: nx.Graph
+    noise: CircuitNoiseModel | NoiselessCircuitModel
+    timing: CircuitTimingModel
+    shots: int = 4000
+    exact_simulation_limit: int = 16
+
+    @classmethod
+    def brooklyn(cls, noiseless: bool = False) -> "CircuitDeviceProfile":
+        """A profile mimicking the paper's 65-qubit ibmq_brooklyn."""
+        coupling = brooklyn_coupling_map()
+        noise = (
+            NoiselessCircuitModel()
+            if noiseless
+            else CircuitNoiseModel(num_qubits=coupling.number_of_nodes())
+        )
+        return cls(
+            name="ibmq-brooklyn-sim",
+            coupling=coupling,
+            noise=noise,
+            timing=CircuitTimingModel(),
+        )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling.number_of_nodes()
+
+
+class CircuitDevice:
+    """Backend executing NchooseK programs via QAOA on a simulated device."""
+
+    def __init__(
+        self,
+        profile: CircuitDeviceProfile | None = None,
+        qaoa_layers: int = 1,
+        qaoa_maxiter: int = 30,
+    ) -> None:
+        self.profile = profile or CircuitDeviceProfile.brooklyn()
+        self.qaoa = QAOA(layers=qaoa_layers, maxiter=qaoa_maxiter)
+        self.transpiler = Transpiler(self.profile.coupling, seed=0)
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # ------------------------------------------------------------------
+    def solve(self, env: "Env", **kwargs) -> Solution:
+        """The single QAOA result for ``env`` (Section VIII-B semantics)."""
+        return self.sample(env, **kwargs).best
+
+    def sample(
+        self,
+        env: "Env",
+        rng: np.random.Generator | None = None,
+        program: CompiledProgram | None = None,
+        **compile_kwargs,
+    ) -> SampleSet:
+        """One QAOA execution; the sample set holds the single result."""
+        rng = rng or np.random.default_rng()
+        if program is None:
+            program = env.to_qubo(**compile_kwargs)
+        model = qubo_to_ising(program.qubo)
+        variables = tuple(program.qubo.variables)
+        n = len(variables)
+        if n == 0:
+            return self._empty_result(env, program)
+        if n > self.profile.num_qubits:
+            raise ValueError(
+                f"no NchooseK problem with more than {self.profile.num_qubits} "
+                f"variables can be mapped onto {self.profile.name} (got {n})"
+            )
+
+        transpiled = self.transpile_qaoa(model, variables)
+
+        if n <= self.profile.exact_simulation_limit:
+            bits, counts, num_jobs = self._run_exact(model, variables, transpiled, rng)
+        else:
+            bits, counts, num_jobs = self._run_structural(model, variables, transpiled, rng)
+
+        assignment = program.strip_ancillas(dict(zip(variables, map(int, bits))))
+        energy = float(program.qubo.energies(bits[None, :], variables)[0])
+        solution = Solution.from_assignment(
+            env, assignment, energy=energy, backend=self.name
+        )
+        return SampleSet(
+            solutions=[solution],
+            backend=self.name,
+            timing=self.profile.timing.total_time(num_jobs, rng),
+            metadata={
+                "qubits_used": transpiled.physical_qubits_used,
+                "logical_qubits": n,
+                "depth": transpiled.depth,
+                "num_swaps": transpiled.num_swaps,
+                "two_qubit_gates": transpiled.circuit.num_two_qubit_gates(),
+                "fidelity": self.profile.noise.circuit_fidelity(transpiled.circuit),
+                "execution_model": "exact"
+                if n <= self.profile.exact_simulation_limit
+                else "structural",
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def transpile_qaoa(
+        self, model: IsingModel, variables: tuple[str, ...]
+    ) -> TranspileResult:
+        """Transpile a representative single-layer QAOA circuit.
+
+        The paper notes all ~30 circuits of a QAOA execution share type
+        and count of gates (only rotation angles differ), so one
+        representative transpilation yields the depth/qubit metrics.
+        """
+        circ = qaoa_circuit(model, np.array([0.7]), np.array([0.3]), variables)
+        return self.transpiler.transpile(circ)
+
+    # ------------------------------------------------------------------
+    def _run_exact(
+        self,
+        model: IsingModel,
+        variables: tuple[str, ...],
+        transpiled: TranspileResult,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict[int, int], int]:
+        """Noisy QAOA on the dense statevector simulator."""
+        result = self.qaoa.optimize(model, rng=rng)
+        noisy_counts = self.profile.noise.apply_to_counts(
+            result.counts, len(variables), transpiled.circuit, rng
+        )
+        diagonal = cost_diagonal(model, variables)
+        best_state = min(noisy_counts, key=lambda s: diagonal[s])
+        n = len(variables)
+        bits = np.array([(best_state >> (n - 1 - i)) & 1 for i in range(n)], dtype=np.int8)
+        return bits, noisy_counts, result.num_circuit_evaluations
+
+    def _run_structural(
+        self,
+        model: IsingModel,
+        variables: tuple[str, ...],
+        transpiled: TranspileResult,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, dict[int, int], int]:
+        """Surrogate execution for circuits too wide to simulate densely.
+
+        Shots: with probability = transpiled-circuit fidelity, a shot
+        comes from a short anneal over the problem Hamiltonian whose
+        *effective temperature rises as fidelity falls* — the flattened
+        sampling distribution a noisy, poorly-converged QAOA produces —
+        with readout flips applied; the remaining shots are uniform
+        random bitstrings (fully depolarized).  The lowest-energy shot
+        wins, as in the exact path.
+
+        Calibration: on the exactly-simulable range (≤ 16 qubits) this
+        surrogate and the exact noisy path produce the same Definition 8
+        label distribution for the paper's workloads; see
+        benchmarks/bench_fig8.py.
+        """
+        from ..annealing.sampler import AnnealSchedule, SimulatedAnnealingSampler
+
+        n = len(variables)
+        shots = self.profile.shots
+        fidelity = self.profile.noise.circuit_fidelity(transpiled.circuit)
+        good = int(rng.binomial(shots, fidelity))
+        # Cap surrogate shots: an under-converged anneal's samples repeat.
+        surrogate_reads = min(good, 128)
+
+        best_bits = None
+        best_energy = np.inf
+        if surrogate_reads > 0:
+            # Inverse temperature relative to the Hamiltonian's scale,
+            # shrinking with fidelity: a clean circuit concentrates near
+            # the ground state, a noisy one samples almost uniformly.
+            scale = max(model.max_abs_coefficient(), 1e-9)
+            beta_max = (0.2 + 3.0 * fidelity) / scale
+            sampler = SimulatedAnnealingSampler(
+                AnnealSchedule(beta_min=beta_max / 20.0, beta_max=beta_max, num_sweeps=16)
+            )
+            res = sampler.sample(model, num_reads=surrogate_reads, rng=rng, variables=variables)
+            bits = (1 - res.spins) // 2
+            p_ro = getattr(self.profile.noise, "p_readout", 0.0)
+            if p_ro:
+                flips = rng.random(bits.shape) < p_ro
+                bits = np.bitwise_xor(bits.astype(np.int8), flips.astype(np.int8))
+            energies = model.energies(1 - 2 * bits.astype(float), variables)
+            i = int(energies.argmin())
+            best_bits = bits[i]
+            best_energy = float(energies[i])
+
+        # Depolarized shots: uniform random bitstrings.
+        uniform = shots - good
+        if uniform > 0:
+            sample_count = min(uniform, 256)
+            rand_bits = rng.integers(0, 2, size=(sample_count, n), dtype=np.int8)
+            energies = model.energies(1 - 2 * rand_bits.astype(float), variables)
+            i = int(energies.argmin())
+            if energies[i] < best_energy:
+                best_bits = rand_bits[i]
+                best_energy = float(energies[i])
+
+        if best_bits is None:  # pragma: no cover - shots always positive
+            best_bits = np.zeros(n, dtype=np.int8)
+        num_jobs = int(rng.integers(25, 36))
+        return best_bits, {}, num_jobs
+
+    def _empty_result(self, env: "Env", program: CompiledProgram) -> SampleSet:
+        solution = Solution.from_assignment(
+            env, {v: False for v in program.variables}, energy=program.qubo.offset,
+            backend=self.name,
+        )
+        return SampleSet(solutions=[solution], backend=self.name)

@@ -1,0 +1,127 @@
+"""QAOA mixer Hamiltonians, including the paper's future-work direction.
+
+Section IX: "The custom mixers used in this version of QAOA [the Quantum
+Alternating Operator Ansatz, Hadfield et al.] seem especially appropriate
+to NchooseK problems with both hard and soft constraints."
+
+Implemented mixers:
+
+* :class:`TransverseFieldMixer` — the standard ``Σ X_i`` (e^{-iβX} = RX on
+  every qubit); explores the full hypercube.
+* :class:`XYRingMixer` — nearest-neighbour XY exchange
+  ``Σ (X_i X_{i+1} + Y_i Y_{i+1}) / 2`` over a qubit ring.  XY exchange
+  *conserves Hamming weight*, so a state initialized with exactly ``k``
+  ones stays in the ``Σx = k`` subspace — the natural mixer for one-hot
+  (``nck(..., {1})``) constraint groups, where it renders the hard
+  constraint structurally unviolable instead of penalized.
+
+The XY evolution is compiled per edge with the standard
+``e^{-iβ(XX+YY)/2}`` two-qubit block (a partial iSWAP), decomposed into
+RZ/SX/CX-compatible gates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .circuit import Circuit
+
+
+class TransverseFieldMixer:
+    """The standard QAOA mixer: an RX rotation on every qubit."""
+
+    name = "transverse-field"
+
+    def initial_state_circuit(self, n: int) -> Circuit:
+        """Uniform superposition — H on every qubit."""
+        circ = Circuit(n)
+        for q in range(n):
+            circ.add("h", q)
+        return circ
+
+    def append_layer(self, circ: Circuit, beta: float) -> None:
+        for q in range(circ.num_qubits):
+            circ.add("rx", q, 2.0 * beta)
+
+
+@dataclass
+class XYRingMixer:
+    """Hamming-weight-preserving XY mixer over a ring of qubits.
+
+    ``hamming_weight`` fixes the conserved excitation count of the
+    initial state (default 1 — the one-hot case).
+    """
+
+    hamming_weight: int = 1
+
+    name = "xy-ring"
+
+    def initial_state_circuit(self, n: int) -> Circuit:
+        """A computational basis state with exactly ``hamming_weight`` ones.
+
+        A Dicke-state preparation would start in an even superposition of
+        the subspace; a single basis state suffices because the XY ring
+        mixes the subspace ergodically across layers.
+        """
+        if not 0 <= self.hamming_weight <= n:
+            raise ValueError(
+                f"hamming weight {self.hamming_weight} out of range for {n} qubits"
+            )
+        circ = Circuit(n)
+        for q in range(self.hamming_weight):
+            circ.add("x", q)
+        return circ
+
+    def append_layer(self, circ: Circuit, beta: float) -> None:
+        """One ring pass of ``e^{-iβ(X_iX_j + Y_iY_j)/2}`` blocks.
+
+        Even pairs then odd pairs (brickwork) so the layer depth is
+        constant; the closing (n−1, 0) edge completes the ring.
+        """
+        n = circ.num_qubits
+        if n < 2:
+            return
+        edges = [(i, i + 1) for i in range(0, n - 1, 2)]
+        edges += [(i, i + 1) for i in range(1, n - 1, 2)]
+        if n > 2:
+            edges.append((n - 1, 0))
+        for a, b in edges:
+            _append_xx_plus_yy(circ, a, b, beta)
+
+
+def _append_xx_plus_yy(circ: Circuit, a: int, b: int, beta: float) -> None:
+    """Append ``e^{-iβ(X_aX_b + Y_aY_b)/2}`` using RZZ-style primitives.
+
+    Identity: with ``U = CX_{ab}``, ``(XX + YY)/2`` conjugates into
+    single-qubit rotations; the textbook decomposition is
+
+        e^{-iβ(XX+YY)/2} = CX(b,a) · [RX(β) ⊗ RZ-controlled phase] …
+
+    We use the simpler route via two rotations in the rotated frame:
+    ``e^{-iβ XX/2}`` and ``e^{-iβ YY/2}`` commute on two qubits, each
+    compiling to a basis-change sandwich around ``RZZ(β)``.
+    """
+    # e^{-i (β/2) X⊗X}: H⊗H · RZZ(β) · H⊗H
+    circ.add("h", a)
+    circ.add("h", b)
+    circ.add("rzz", (a, b), beta)
+    circ.add("h", a)
+    circ.add("h", b)
+    # e^{-i (β/2) Y⊗Y}: (S†H)⊗(S†H) basis change = RZ(-π/2)·H each side
+    for q in (a, b):
+        circ.add("rz", q, -math.pi / 2.0)
+        circ.add("h", q)
+    circ.add("rzz", (a, b), beta)
+    for q in (a, b):
+        circ.add("h", q)
+        circ.add("rz", q, math.pi / 2.0)
+
+
+def get_mixer(name: str, **kwargs):
+    """Mixer registry: ``"transverse-field"`` (default) or ``"xy-ring"``."""
+    if name == "transverse-field":
+        return TransverseFieldMixer()
+    if name == "xy-ring":
+        return XYRingMixer(**kwargs)
+    raise ValueError(f"unknown mixer {name!r}")

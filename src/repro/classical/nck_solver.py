@@ -1,0 +1,302 @@
+"""Exact classical solver for NchooseK programs — the Z3 stand-in.
+
+The paper uses the Z3 SMT solver in two roles: as a classical back end
+(Section VIII-C, Figure 12) and as the ground-truth oracle that decides
+whether a quantum result is optimal, suboptimal, or incorrect
+(Definition 8).  This module fills both roles with a branch-and-bound
+search over the constraint hypergraph:
+
+* all hard constraints must hold — interval-based propagation prunes
+  branches whose TRUE-counts can no longer reach the selection set;
+* among hard-feasible assignments, the number of satisfied soft
+  constraints is maximized — an optimistic bound (every undecided soft
+  constraint counts as satisfiable) prunes dominated branches.
+
+The search is exact: it either returns a provably optimal assignment or
+raises :class:`~repro.core.types.UnsatisfiableError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.solution import SampleSet, Solution
+from ..core.types import Constraint, UnsatisfiableError, Var
+
+
+class _Conflict(Exception):
+    """Internal: a hard constraint admits no value for some variable."""
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.env import Env
+
+
+@dataclass
+class _ConstraintState:
+    """Mutable satisfaction-tracking state for one constraint."""
+
+    constraint: Constraint
+    true_count: int = 0  # weight of variables assigned TRUE so far
+    unassigned: int = 0  # total weight of still-unassigned variables
+
+    def reset(self) -> None:
+        self.true_count = 0
+        self.unassigned = self.constraint.collection.cardinality
+
+    def can_satisfy(self) -> bool:
+        """Whether some completion reaches the selection set.
+
+        Interval relaxation: reachable TRUE-counts lie in
+        ``[true_count, true_count + unassigned]``; exactness of membership
+        within the interval is ignored (sound, slightly loose for repeated
+        variables).
+        """
+        lo, hi = self.true_count, self.true_count + self.unassigned
+        return any(lo <= k <= hi for k in self.constraint.selection.values)
+
+    def is_decided_satisfied(self) -> bool:
+        """All variables assigned and the count is in the selection set."""
+        return self.unassigned == 0 and self.true_count in self.constraint.selection
+
+
+class ExactNckSolver:
+    """Branch-and-bound solver maximizing satisfied soft constraints.
+
+    Parameters
+    ----------
+    node_limit:
+        Safety valve on search-tree size; exceeded ⇒ ``RuntimeError``.
+        The default is ample for every experiment in the paper's range.
+    """
+
+    name = "classical-exact"
+
+    def __init__(self, node_limit: int = 50_000_000) -> None:
+        self.node_limit = node_limit
+        self.nodes_visited = 0
+
+    # ------------------------------------------------------------------
+    def solve(self, env: "Env", **kwargs) -> Solution:
+        """Best assignment (all hard satisfied, max soft), else raise."""
+        return self.sample(env, **kwargs).best
+
+    def sample(self, env: "Env", **kwargs) -> SampleSet:
+        """Like :meth:`solve`, wrapped as a one-element sample set."""
+        assignment, soft_sat = self._search(env)
+        if assignment is None:
+            raise UnsatisfiableError("no assignment satisfies every hard constraint")
+        solution = Solution.from_assignment(
+            env,
+            assignment,
+            energy=float(len(env.soft_constraints) - soft_sat),
+            backend=self.name,
+            metadata={"nodes_visited": self.nodes_visited},
+        )
+        return SampleSet(solutions=[solution], backend=self.name)
+
+    def max_soft_satisfiable(self, env: "Env") -> int:
+        """Ground truth for Definition 8: max satisfiable soft constraints.
+
+        Raises :class:`UnsatisfiableError` when the hard constraints are
+        jointly unsatisfiable.
+        """
+        assignment, soft_sat = self._search(env)
+        if assignment is None:
+            raise UnsatisfiableError("no assignment satisfies every hard constraint")
+        return soft_sat
+
+    # ------------------------------------------------------------------
+    def _search(self, env: "Env") -> tuple[dict[str, bool] | None, int]:
+        variables = list(env.variables)
+        constraints = list(env.constraints)
+        states = [_ConstraintState(c) for c in constraints]
+        for st in states:
+            st.reset()
+
+        # Constraint membership index: var -> [(state, weight)]
+        touching: dict[Var, list[tuple[_ConstraintState, int]]] = {v: [] for v in variables}
+        for st in states:
+            for v, m in st.constraint.collection.counts.items():
+                touching[v].append((st, m))
+
+        # Order variables most-constrained-first: fail early, prune hard.
+        variables.sort(key=lambda v: -len(touching[v]))
+
+        hard_states = [st for st in states if not st.constraint.soft]
+        soft_states = [st for st in states if st.constraint.soft]
+        num_soft = len(soft_states)
+
+        assignment: dict[Var, bool] = {}
+        best_assignment: dict[str, bool] | None = None
+        best_soft = -1
+        self.nodes_visited = 0
+
+        # Variables whose only soft role is the minimize idiom
+        # nck({v},{0},soft): forcing them TRUE certainly violates that
+        # soft constraint, which powers the packing bound below.
+        prefer_false: dict[Var, _ConstraintState] = {}
+        for st in soft_states:
+            coll = st.constraint.collection
+            if len(coll.unique) == 1 and st.constraint.selection.values == (0,):
+                prefer_false[coll.unique[0]] = st
+
+        def soft_bound() -> int:
+            """Optimistic count of satisfiable soft constraints.
+
+            Base bound: every undecided soft constraint that can still be
+            satisfied counts as satisfied.  Strengthening: hard constraints
+            that *force* additional TRUE assignments among undecided
+            variables each doom some prefer-false soft constraints; a
+            greedy packing over hard constraints with disjoint undecided
+            variable sets yields a sound deduction (this is the classical
+            matching lower bound when the program is a vertex cover).
+            """
+            bound = 0
+            for st in soft_states:
+                if st.unassigned == 0:
+                    bound += st.true_count in st.constraint.selection
+                else:
+                    bound += st.can_satisfy()
+            if not prefer_false:
+                return bound
+
+            used: set[Var] = set()
+            forced = 0
+            for st in hard_states:
+                if st.unassigned == 0:
+                    continue
+                lo, hi = st.true_count, st.true_count + st.unassigned
+                need = min(
+                    (k - st.true_count for k in st.constraint.selection.values if lo <= k <= hi),
+                    default=None,
+                )
+                if not need:  # satisfied with zero more TRUEs (or hopeless)
+                    continue
+                undecided = [
+                    v
+                    for v in st.constraint.collection.unique
+                    if v not in assignment and v in prefer_false
+                ]
+                if len(undecided) < st.unassigned:
+                    continue  # some forced TRUEs may fall on unpenalized vars
+                if any(v in used for v in undecided):
+                    continue  # keep packed constraints disjoint
+                used.update(undecided)
+                forced += need
+            return bound - forced
+
+        def assign(v: Var, value: bool) -> bool:
+            """Apply assignment; False if a hard constraint becomes hopeless."""
+            assignment[v] = value
+            ok = True
+            for st, weight in touching[v]:
+                st.unassigned -= weight
+                if value:
+                    st.true_count += weight
+                if not st.constraint.soft and not st.can_satisfy():
+                    ok = False
+            return ok
+
+        def unassign(v: Var, value: bool) -> None:
+            del assignment[v]
+            for st, weight in touching[v]:
+                st.unassigned += weight
+                if value:
+                    st.true_count -= weight
+
+        def forced_value(st: _ConstraintState, u: Var, weight: int) -> bool | None:
+            """Value forced on ``u`` by hard constraint ``st``, if any.
+
+            Uses the same interval relaxation as :meth:`can_satisfy`: a
+            value is impossible when no selection-set member lies in the
+            reachable interval after fixing ``u`` to it.
+            """
+            sel = st.constraint.selection.values
+            # u = TRUE: counts in [t+w, t+r]
+            lo, hi = st.true_count + weight, st.true_count + st.unassigned
+            can_true = any(lo <= k <= hi for k in sel)
+            # u = FALSE: counts in [t, t+r-w]
+            lo, hi = st.true_count, st.true_count + st.unassigned - weight
+            can_false = any(lo <= k <= hi for k in sel)
+            if can_true and can_false:
+                return None
+            if can_true:
+                return True
+            if can_false:
+                return False
+            raise _Conflict
+
+        def propagate(seed: Var, trail: list[tuple[Var, bool]]) -> bool:
+            """Unit-propagate consequences of assigning ``seed``.
+
+            Any hard constraint that now forces a variable triggers that
+            assignment, recursively.  Forced assignments append to
+            ``trail`` (the caller undoes them).  Returns False on
+            conflict.
+            """
+            queue = [seed]
+            try:
+                while queue:
+                    v = queue.pop()
+                    for st, _w in touching[v]:
+                        if st.constraint.soft or st.unassigned == 0:
+                            continue
+                        for u, m in st.constraint.collection.counts.items():
+                            if u in assignment:
+                                continue
+                            value = forced_value(st, u, m)
+                            if value is None:
+                                continue
+                            if not assign(u, value):
+                                trail.append((u, value))
+                                return False
+                            trail.append((u, value))
+                            queue.append(u)
+            except _Conflict:
+                return False
+            return True
+
+        def next_unassigned(start: int) -> int:
+            i = start
+            while i < len(variables) and variables[i] in assignment:
+                i += 1
+            return i
+
+        def dfs(pos: int) -> None:
+            nonlocal best_assignment, best_soft
+            self.nodes_visited += 1
+            if self.nodes_visited > self.node_limit:
+                raise RuntimeError(
+                    f"ExactNckSolver exceeded node limit {self.node_limit}"
+                )
+            if best_soft == num_soft and best_assignment is not None:
+                return  # already provably optimal
+            if soft_bound() <= best_soft:
+                return  # dominated
+            pos = next_unassigned(pos)
+            if pos == len(variables):
+                # All hard constraints hold (pruning guarantees it);
+                # record the satisfied-soft count.
+                soft_sat = sum(st.is_decided_satisfied() for st in soft_states)
+                if soft_sat > best_soft:
+                    best_soft = soft_sat
+                    best_assignment = {v.name: assignment[v] for v in assignment}
+                return
+            v = variables[pos]
+            # Try FALSE first: the common soft idiom nck({v},{0},soft)
+            # rewards FALSE, so this tends to reach good incumbents early.
+            for value in (False, True):
+                trail: list[tuple[Var, bool]] = []
+                if assign(v, value) and propagate(v, trail):
+                    dfs(pos + 1)
+                for u, uv in reversed(trail):
+                    unassign(u, uv)
+                unassign(v, value)
+
+        if not variables:
+            return ({}, 0) if not constraints else (None, 0)
+        dfs(0)
+        if best_assignment is None:
+            return None, 0
+        return best_assignment, best_soft

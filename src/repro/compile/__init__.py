@@ -1,0 +1,32 @@
+"""Constraint → QUBO compilation (the paper's Section V pipeline)."""
+
+from .cache import QUBOCache
+from .closed_forms import closed_form_qubo
+from .program import ANCILLA_PREFIX, CompiledProgram, compile_constraint, compile_program
+from .synthesize import (
+    GAP,
+    MAX_ANCILLAS,
+    SynthesisResult,
+    synthesize_constraint_qubo,
+    verify_constraint_qubo,
+)
+from .truthtable import TruthTable, build_truth_table
+from .validate import ProgramValidationError, verify_compiled_program
+
+__all__ = [
+    "ANCILLA_PREFIX",
+    "CompiledProgram",
+    "GAP",
+    "MAX_ANCILLAS",
+    "QUBOCache",
+    "SynthesisResult",
+    "TruthTable",
+    "build_truth_table",
+    "closed_form_qubo",
+    "compile_constraint",
+    "compile_program",
+    "synthesize_constraint_qubo",
+    "verify_constraint_qubo",
+    "ProgramValidationError",
+    "verify_compiled_program",
+]

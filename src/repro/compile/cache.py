@@ -1,0 +1,135 @@
+"""Symmetric-constraint QUBO cache.
+
+The paper's timing discussion (Section VIII-C) observes that the reference
+implementation "redundantly computes QUBOs for symmetric constraints
+instead of caching previously computed QUBOs," costing 40–50× the direct
+classical solve time.  This module supplies that cache: constraints whose
+sorted multiplicity profile and selection set agree share a synthesized
+QUBO *template* over positional placeholder names, which is relabeled onto
+each concrete constraint's variables.
+
+Relabeling must respect multiplicities: template position ``i`` carries
+the ``i``-th smallest multiplicity, so a concrete constraint's unique
+variables are matched to template slots after sorting by (multiplicity,
+name) — any variables of equal multiplicity are interchangeable by
+symmetry of the TRUE-count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.symmetry import cache_key
+from ..core.types import Constraint, SelectionSet, Var, VariableCollection
+from ..qubo.model import QUBO
+from .synthesize import SynthesisResult, synthesize_constraint_qubo
+
+#: Placeholder variable-name prefixes inside cached templates.
+_SLOT = "_slot{}"
+_ANC = "_tanc{}"
+
+
+@dataclass
+class _Template:
+    qubo: QUBO
+    num_ancillas: int
+    used_closed_form: bool
+    exact_penalty: bool
+
+
+@dataclass
+class QUBOCache:
+    """Per-compilation cache of constraint QUBO templates.
+
+    Hard and soft constraints cache separately (soft compilation requests
+    exact penalties; see :mod:`repro.compile.synthesize`).  Statistics
+    (`hits`, `misses`) feed the compile-cache ablation bench.
+    """
+
+    enabled: bool = True
+    hits: int = 0
+    misses: int = 0
+    _templates: dict[tuple, _Template] = field(default_factory=dict)
+
+    def synthesize(
+        self, constraint: Constraint, ancilla_namer, exact_penalty: bool = False
+    ) -> SynthesisResult:
+        """Synthesize (or recall) the QUBO for ``constraint``.
+
+        ``ancilla_namer`` yields fresh program-unique ancilla names; each
+        cache *use* gets its own ancillas (ancillas are never shared
+        between constraints).
+        """
+        if not self.enabled:
+            self.misses += 1
+            return synthesize_constraint_qubo(
+                constraint, ancilla_namer=ancilla_namer, exact_penalty=exact_penalty
+            )
+
+        key = (cache_key(constraint), exact_penalty)
+        template = self._templates.get(key)
+        if template is None:
+            self.misses += 1
+            template = self._build_template(constraint, exact_penalty)
+            self._templates[key] = template
+        else:
+            self.hits += 1
+
+        mapping = _slot_mapping(constraint)
+        ancillas = tuple(ancilla_namer() for _ in range(template.num_ancillas))
+        for i, anc in enumerate(ancillas):
+            mapping[_ANC.format(i)] = anc
+        return SynthesisResult(
+            qubo=template.qubo.relabeled(mapping),
+            ancillas=ancillas,
+            used_closed_form=template.used_closed_form,
+            exact_penalty=template.exact_penalty,
+        )
+
+    def _build_template(self, constraint: Constraint, exact_penalty: bool) -> _Template:
+        canonical = _canonical_constraint(constraint)
+        counter = iter(range(10**6))
+        result = synthesize_constraint_qubo(
+            canonical,
+            ancilla_namer=lambda: _ANC.format(next(counter)),
+            exact_penalty=exact_penalty,
+        )
+        # Canonicalize ancilla names to _tanc0.._tancK-1: synthesis may
+        # have consumed namer outputs for discarded attempts (e.g. a
+        # closed form rejected for inexact penalties), leaving gaps.
+        renumber = {old: _ANC.format(i) for i, old in enumerate(result.ancillas)}
+        return _Template(
+            qubo=result.qubo.relabeled(renumber),
+            num_ancillas=len(result.ancillas),
+            used_closed_form=result.used_closed_form,
+            exact_penalty=result.exact_penalty,
+        )
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+
+def _sorted_unique(constraint: Constraint) -> list[tuple[int, Var]]:
+    """Unique variables sorted by (multiplicity, name) — the slot order."""
+    counts = constraint.collection.counts
+    return sorted(((m, v) for v, m in counts.items()), key=lambda t: (t[0], t[1].name))
+
+
+def _canonical_constraint(constraint: Constraint) -> Constraint:
+    """The representative constraint over placeholder slot names."""
+    elements: list[Var] = []
+    for i, (mult, _var) in enumerate(_sorted_unique(constraint)):
+        elements.extend([Var(_SLOT.format(i))] * mult)
+    return Constraint(
+        VariableCollection(elements),
+        SelectionSet(constraint.selection.values),
+        soft=constraint.soft,
+    )
+
+
+def _slot_mapping(constraint: Constraint) -> dict[str, str]:
+    """Map template slot names to the concrete constraint's variables."""
+    return {
+        _SLOT.format(i): var.name
+        for i, (_mult, var) in enumerate(_sorted_unique(constraint))
+    }

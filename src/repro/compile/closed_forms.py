@@ -1,0 +1,145 @@
+"""Closed-form QUBO encodings for common constraint shapes.
+
+Section VI-B of the paper notes that "constraints with a selection set of
+{1} are trivial to convert to a QUBO, even for large variable collections."
+More generally, an *exactly-k* constraint over ``n`` distinct variables has
+the textbook penalty
+
+.. math::
+
+    f(x) = \\Bigl(k - \\sum_i x_i\\Bigr)^2,
+
+which is 0 on every valid assignment and at least 1 otherwise — exactly the
+validity spec the synthesizer enforces.  Handling these shapes in closed
+form keeps compilation O(constraint size) instead of invoking the LP/MILP
+search, and it is what lets NchooseK's one-hot-heavy problems (map
+coloring, exact cover) compile instantly at any collection size.
+
+All closed forms produced here are normalized like synthesized QUBOs:
+valid assignments sit at energy exactly 0 and invalid ones at ≥ 1.
+"""
+
+from __future__ import annotations
+
+from ..core.types import Constraint
+from ..qubo.model import QUBO
+
+
+def closed_form_qubo(
+    constraint: Constraint, ancilla_namer=None
+) -> tuple[QUBO, tuple[str, ...]] | None:
+    """Return ``(qubo, ancillas)`` for ``constraint``, or None if no shape fits.
+
+    Covered shapes (all with unit penalty gap, valid states at energy 0):
+
+    * trivial constraints (every assignment valid) → the zero QUBO;
+    * single-variable ``nck({v},{0})`` → ``f = v`` and ``nck({v},{1})`` →
+      ``f = 1 - v`` — the soft minimize/maximize idioms of Section IV-C;
+    * exactly-k over distinct variables → ``(k - Σx)²``;
+    * adjacent two-element selection sets ``{k, k+1}`` over distinct
+      variables — covers the vertex-cover ``{1,2}`` and map-coloring
+      ``{0,1}`` idioms;
+    * contiguous intervals ``{k₁..k₂}`` over distinct variables via the
+      standard bounded-slack encoding ``(Σx − k₁ − w)²`` with
+      ``⌈log₂(k₂−k₁+1)⌉`` slack ancillas — covers at-least-k / at-most-k
+      and the minimum-set-cover ``{1..N}`` sets at any collection size.
+
+    ``ancilla_namer`` supplies fresh ancilla names for the slack encoding;
+    shapes that need ancillas are skipped when it is None.
+    """
+    if constraint.is_trivial():
+        return QUBO(), ()
+
+    mults = constraint.collection.multiplicities
+    if any(m != 1 for m in mults):
+        return None  # repeated variables fall through to the synthesizer
+    names = [v.name for v in constraint.collection.unique]
+    n = len(names)
+    sel = constraint.selection.values
+
+    if len(sel) == 1:
+        return _exactly_k(names, sel[0]), ()
+
+    if len(sel) == 2 and sel[1] == sel[0] + 1:
+        q = _two_point(names, sel[0], sel[1], n)
+        if q is not None:
+            return q, ()
+
+    if constraint.selection.is_contiguous() and ancilla_namer is not None:
+        return _interval_slack(names, sel[0], sel[-1], ancilla_namer)
+
+    return None
+
+
+def _exactly_k(names: list[str], k: int) -> QUBO:
+    """``(k - Σx)²`` expanded into QUBO terms (gap ≥ 1)."""
+    q = QUBO(offset=float(k * k))
+    for name in names:
+        q.add_linear(name, 1.0 - 2.0 * k)  # x² = x contributes +1
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            q.add_quadratic(names[i], names[j], 2.0)
+    return q.pruned()
+
+
+def _two_point(names: list[str], k1: int, k2: int, n: int) -> QUBO | None:
+    """Penalty vanishing exactly at adjacent TRUE-counts ``{k1, k1+1}``.
+
+    ``g(s) = (s - k1)(s - k1 - 1)`` is zero at the two roots and, because
+    the roots are adjacent integers, positive (≥ 2) at every other integer
+    count — a valid penalty, halved to keep the gap at 1 with half-integer
+    coefficients.  For non-adjacent pairs (e.g. the XOR set ``{0, 2}``) the
+    interior count would make ``g`` negative, *rewarding* an invalid
+    assignment; no ancilla-free symmetric quadratic exists there (the
+    paper's Eq. 3 example), so we return None for the synthesizer.
+    """
+    if k2 != k1 + 1:
+        return None
+    # g(s) = (s-k1)(s-k1-1) = s² - (2k1+1)s + k1(k1+1); even ⇒ halve.
+    q = QUBO(offset=float(k1 * (k1 + 1)) / 2.0)
+    for name in names:
+        # s² contributes x_i (diagonal) + 2 x_i x_j; linear total (1-(2k1+1))/2
+        q.add_linear(name, (1.0 - (2.0 * k1 + 1.0)) / 2.0)
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            q.add_quadratic(names[i], names[j], 1.0)
+    return q.pruned()
+
+
+def _interval_slack(
+    names: list[str], k1: int, k2: int, ancilla_namer
+) -> tuple[QUBO, tuple[str, ...]]:
+    """Bounded-slack penalty ``(Σx − k₁ − w)²`` for selection ``{k₁..k₂}``.
+
+    ``w = Σ_j c_j y_j`` ranges over every integer in ``[0, k₂−k₁]`` using
+    binary weights ``1, 2, 4, …`` with the final weight trimmed to hit the
+    upper bound exactly (standard log-encoded slack).  For valid counts
+    there is a slack value making the square zero; for counts outside the
+    interval the residual magnitude is ≥ 1, giving a unit gap.
+    """
+    span = k2 - k1
+    weights: list[int] = []
+    remaining = span
+    w = 1
+    while remaining > 0:
+        c = min(w, remaining)
+        weights.append(c)
+        remaining -= c
+        w *= 2
+    ancillas = tuple(ancilla_namer() for _ in weights)
+
+    # Expand (Σx − k1 − Σ c_j y_j)² over binaries (z² = z).
+    q = QUBO(offset=float(k1 * k1))
+    for name in names:
+        q.add_linear(name, 1.0 - 2.0 * k1)
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            q.add_quadratic(names[i], names[j], 2.0)
+    for cj, yj in zip(weights, ancillas):
+        q.add_linear(yj, float(cj * cj + 2 * k1 * cj))
+        for name in names:
+            q.add_quadratic(name, yj, -2.0 * cj)
+    for a in range(len(weights)):
+        for b in range(a + 1, len(weights)):
+            q.add_quadratic(ancillas[a], ancillas[b], 2.0 * weights[a] * weights[b])
+    return q.pruned(), ancillas

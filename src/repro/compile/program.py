@@ -1,0 +1,199 @@
+"""Whole-program compilation: NchooseK → QUBO (Section V).
+
+Each constraint compiles to a per-constraint QUBO whose valid assignments
+sit at energy 0 with a unit penalty gap; the program QUBO is their sum
+(QUBOs are compositional with respect to addition).
+
+Hard/soft balancing
+-------------------
+Soft-constraint QUBOs enter the sum with weight 1, so each violated soft
+constraint raises the energy by ≥ 1 and the QUBO ground state maximizes
+the number of satisfied soft constraints.  Hard-constraint QUBOs are
+scaled by a factor strictly larger than the total soft weight (default
+``num_soft + 1``) so that violating a single hard constraint always costs
+more than violating every soft constraint: hard feasibility dominates.
+The paper notes the flip side (Section VIII-A): the larger the hard bias,
+the smaller the *relative* energy gap between solutions that differ by
+one soft constraint — which is why mixed problems degrade fastest on
+noisy annealers.  ``hard_scale`` is exposed for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.types import Constraint, UnsatisfiableError
+from ..qubo.model import QUBO
+from .cache import QUBOCache
+from .synthesize import GAP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.env import Env
+
+#: Prefix of compiler-introduced ancilla variables, used to strip them
+#: from solutions before they reach the user.
+ANCILLA_PREFIX = "_qanc"
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled NchooseK program.
+
+    Attributes
+    ----------
+    qubo:
+        The summed program QUBO over environment variables + ancillas.
+    variables:
+        Environment variable names, in registration order.  Backends must
+        report values for these; ancillas are an encoding detail.
+    ancillas:
+        Compiler-introduced ancilla names.
+    hard_scale:
+        The factor applied to every hard-constraint QUBO.
+    ground_energy:
+        The energy of an assignment satisfying all hard constraints and
+        the maximum number of soft constraints *if every soft constraint
+        were satisfiable simultaneously* (= 0 by normalization); the true
+        optimum is ``(num_unsatisfiable_soft) * GAP`` above this, which
+        backends discover rather than compute.
+    constraint_qubos:
+        Per-constraint scaled QUBOs, aligned with ``env.constraints`` —
+        kept for diagnostics and the complexity benchmarks.
+    """
+
+    qubo: QUBO
+    variables: tuple[str, ...]
+    ancillas: tuple[str, ...]
+    hard_scale: float
+    constraint_qubos: list[QUBO] = field(default_factory=list)
+    cache_stats: dict = field(default_factory=dict)
+    #: Every soft constraint compiled to an exact-GAP penalty, so the
+    #: QUBO ground state provably maximizes satisfied soft constraints.
+    #: When False, soft counting is approximate (each violated soft costs
+    #: ≥ GAP, not exactly GAP) and hard dominance is maintained through a
+    #: larger ``hard_scale``.
+    soft_penalties_exact: bool = True
+
+    @property
+    def all_variables(self) -> tuple[str, ...]:
+        """Environment variables followed by ancillas (QUBO column order)."""
+        return self.variables + self.ancillas
+
+    def strip_ancillas(self, assignment: Mapping[str, bool | int]) -> dict[str, bool]:
+        """Project a QUBO-level assignment onto environment variables."""
+        return {v: bool(assignment[v]) for v in self.variables}
+
+    def soft_violations_from_energy(self, energy: float) -> float:
+        """Lower bound on violated soft constraints implied by ``energy``.
+
+        Valid only when all hard constraints are satisfied, in which case
+        the energy is exactly ``GAP`` times the number of violated soft
+        constraints.
+        """
+        return energy / GAP
+
+
+def compile_program(
+    env: "Env",
+    *,
+    cache: bool = True,
+    hard_scale: float | None = None,
+) -> CompiledProgram:
+    """Compile ``env``'s program to a QUBO.
+
+    Parameters
+    ----------
+    cache:
+        Reuse QUBO templates across symmetric constraints (Definition 7).
+        Disabling reproduces the reference implementation's redundant
+        recomputation for the compile-cache ablation.
+    hard_scale:
+        Override the hard-constraint scaling factor.  Must exceed the
+        total soft weight for hard dominance; the default is
+        ``num_soft + 1``.
+
+    Raises
+    ------
+    UnsatisfiableError
+        If any single hard constraint is unsatisfiable in isolation.
+        (Joint unsatisfiability across constraints is a backend's job.)
+    """
+    if hard_scale is not None and hard_scale <= 0:
+        raise ValueError("hard_scale must be positive")
+
+    qubo_cache = QUBOCache(enabled=cache)
+    counter = iter(range(10**9))
+
+    def ancilla_namer() -> str:
+        while True:
+            name = f"{ANCILLA_PREFIX}{next(counter)}"
+            if name not in env:
+                return name
+
+    # Pass 1: compile every constraint unscaled.  Soft constraints
+    # request exact-GAP penalties so the summed QUBO counts them; where
+    # exactness is unattainable, the fallback inequality form is noted
+    # and compensated through the hard scale below.
+    results: list = []
+    soft_energy_budget = 0.0  # max total energy all soft QUBOs can reach
+    all_soft_exact = True
+    for constraint in env.constraints:
+        try:
+            result = qubo_cache.synthesize(
+                constraint, ancilla_namer, exact_penalty=constraint.soft
+            )
+        except Exception as exc:
+            if not constraint.soft and constraint.is_unsatisfiable():
+                raise UnsatisfiableError(str(exc)) from exc
+            if constraint.soft and constraint.is_unsatisfiable():
+                # An unsatisfiable soft constraint penalizes every
+                # assignment equally; it contributes nothing to argmin.
+                results.append(None)
+                continue
+            raise
+        results.append(result)
+        if constraint.soft:
+            if result.exact_penalty:
+                soft_energy_budget += GAP
+            else:
+                all_soft_exact = False
+                soft_energy_budget += result.max_energy_upper_bound()
+
+    # Hard dominance: violating any single hard constraint must cost more
+    # than every soft constraint's worst case combined.
+    if hard_scale is None:
+        hard_scale = soft_energy_budget / GAP + 1.0
+
+    total = QUBO()
+    per_constraint: list[QUBO] = []
+    ancillas: list[str] = []
+    for constraint, result in zip(env.constraints, results):
+        if result is None:
+            per_constraint.append(QUBO())
+            continue
+        scaled = result.qubo * hard_scale if not constraint.soft else result.qubo
+        ancillas.extend(result.ancillas)
+        per_constraint.append(scaled)
+        total += scaled
+
+    return CompiledProgram(
+        qubo=total.pruned(),
+        variables=tuple(v.name for v in env.variables),
+        ancillas=tuple(ancillas),
+        hard_scale=hard_scale,
+        constraint_qubos=per_constraint,
+        cache_stats={
+            "hits": qubo_cache.hits,
+            "misses": qubo_cache.misses,
+            "templates": len(qubo_cache),
+        },
+        soft_penalties_exact=all_soft_exact,
+    )
+
+
+def compile_constraint(constraint: Constraint, **kwargs) -> QUBO:
+    """Compile a single constraint in isolation (testing/diagnostics)."""
+    from .synthesize import synthesize_constraint_qubo
+
+    return synthesize_constraint_qubo(constraint, **kwargs).qubo

@@ -1,0 +1,73 @@
+"""Constraint truth tables.
+
+The coefficient synthesizer works from the constraint's truth table over
+its *unique* variables: repeated variables in the collection (allowed by
+Definition 1) contribute their multiplicity to the TRUE-count but do not
+enlarge the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.types import Constraint
+from ..qubo.matrix import enumerate_assignments
+
+#: Refuse to enumerate truth tables beyond this many unique variables.
+#: Per-constraint variable collections in the paper's problems are small
+#: (the largest grow linearly with one problem dimension); the compiler is
+#: never asked to tabulate a whole program.
+MAX_UNIQUE_VARIABLES = 16
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """All assignments of a constraint's unique variables, marked valid.
+
+    ``assignments`` is a ``(2**n, n)`` 0/1 array whose columns follow
+    ``variables``; ``valid`` marks rows whose TRUE-count (with
+    multiplicity) falls in the selection set.
+    """
+
+    variables: tuple[str, ...]
+    assignments: np.ndarray
+    valid: np.ndarray
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_valid(self) -> int:
+        return int(self.valid.sum())
+
+    @property
+    def all_valid(self) -> bool:
+        return bool(self.valid.all())
+
+    @property
+    def none_valid(self) -> bool:
+        return not bool(self.valid.any())
+
+
+def build_truth_table(constraint: Constraint) -> TruthTable:
+    """Tabulate ``constraint`` over its unique variables."""
+    unique = constraint.collection.unique
+    n = len(unique)
+    if n > MAX_UNIQUE_VARIABLES:
+        raise ValueError(
+            f"constraint touches {n} unique variables; truth-table synthesis "
+            f"is limited to {MAX_UNIQUE_VARIABLES} (use a closed-form encoding)"
+        )
+    mults = np.array(constraint.collection.multiplicities, dtype=np.int64)
+    X = enumerate_assignments(n)
+    true_counts = X @ mults
+    members = np.array(constraint.selection.values, dtype=np.int64)
+    valid = np.isin(true_counts, members)
+    return TruthTable(
+        variables=tuple(v.name for v in unique),
+        assignments=X,
+        valid=valid,
+    )

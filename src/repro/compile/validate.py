@@ -1,0 +1,104 @@
+"""Whole-program compilation validation.
+
+:func:`verify_compiled_program` checks, by exhaustive enumeration, that a
+compiled QUBO implements the generalized NchooseK semantics (Definition
+6): over every assignment of the environment's variables,
+
+1. the QUBO energy (minimized over ancillas) of any assignment violating
+   a hard constraint strictly exceeds that of every hard-feasible
+   assignment — hard dominance;
+2. among hard-feasible assignments, energy decreases exactly as the
+   number of satisfied soft constraints increases — soft fidelity (each
+   violated soft constraint contributes one unit of ``GAP``).
+
+Exponential in the variable count; intended for tests and for validating
+hand-tuned ``hard_scale`` choices on small programs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..qubo.matrix import enumerate_assignments
+from .program import CompiledProgram
+from .synthesize import GAP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.env import Env
+
+#: Enumeration cap (environment variables + ancillas).
+MAX_VALIDATION_VARIABLES = 20
+
+
+class ProgramValidationError(AssertionError):
+    """The compiled QUBO does not implement the program's semantics."""
+
+
+def verify_compiled_program(env: "Env", program: CompiledProgram) -> None:
+    """Raise :class:`ProgramValidationError` on any semantic violation."""
+    names = list(program.variables)
+    ancillas = list(program.ancillas)
+    total_vars = len(names) + len(ancillas)
+    if total_vars > MAX_VALIDATION_VARIABLES:
+        raise ValueError(
+            f"{total_vars} variables exceed the exhaustive validation cap "
+            f"({MAX_VALIDATION_VARIABLES})"
+        )
+
+    n, k = len(names), len(ancillas)
+    env_assignments = enumerate_assignments(n)
+    anc_assignments = enumerate_assignments(k)
+
+    # Energy per env assignment = min over ancilla assignments.
+    order = names + ancillas
+    ext = np.hstack(
+        [
+            np.repeat(env_assignments, anc_assignments.shape[0], axis=0),
+            np.tile(anc_assignments, (env_assignments.shape[0], 1)),
+        ]
+    )
+    energies = program.qubo.energies(ext, order).reshape(
+        env_assignments.shape[0], -1
+    ).min(axis=1)
+
+    num_hard = len(env.hard_constraints)
+    hard_ok = np.empty(env_assignments.shape[0], dtype=bool)
+    soft_sat = np.empty(env_assignments.shape[0], dtype=np.int64)
+    for r, row in enumerate(env_assignments):
+        assignment = dict(zip(names, map(bool, row)))
+        h, s = env.satisfied_counts(assignment)
+        hard_ok[r] = h == num_hard
+        soft_sat[r] = s
+
+    if not hard_ok.any():
+        return  # jointly unsatisfiable: nothing to dominate
+
+    # 1. Hard dominance.
+    worst_feasible = energies[hard_ok].max()
+    if (~hard_ok).any():
+        best_infeasible = energies[~hard_ok].min()
+        if best_infeasible <= worst_feasible + 1e-9:
+            raise ProgramValidationError(
+                f"hard-violating assignment at energy {best_infeasible:g} "
+                f"undercuts feasible assignment at {worst_feasible:g}"
+            )
+
+    # 2. Soft fidelity: energy = GAP × (violated softs) on feasible rows.
+    # Exact only when every soft constraint compiled to an exact penalty;
+    # otherwise check the weaker guarantee that energies are bounded by
+    # the per-violation interval [GAP, ∞) and the argmin is soft-maximal.
+    num_soft = len(env.soft_constraints)
+    expected = GAP * (num_soft - soft_sat[hard_ok])
+    if program.soft_penalties_exact:
+        if not np.allclose(energies[hard_ok], expected, atol=1e-6):
+            worst = np.abs(energies[hard_ok] - expected).max()
+            raise ProgramValidationError(
+                f"feasible energies deviate from GAP × violated-softs by {worst:g}"
+            )
+    else:
+        if (energies[hard_ok] < expected - 1e-6).any():
+            raise ProgramValidationError(
+                "a feasible assignment undercuts GAP × violated-softs"
+            )

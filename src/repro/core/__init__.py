@@ -1,0 +1,48 @@
+"""Core NchooseK DSL: variables, constraints, environments, solutions."""
+
+from .env import AND_BLOCK, Block, Env, NOT_BLOCK, OR_BLOCK, XOR_BLOCK
+from .solution import SampleSet, Solution, SolutionQuality
+from .symmetry import (
+    are_symmetric,
+    cache_key,
+    count_nonsymmetric,
+    symmetry_classes,
+    symmetry_key,
+)
+from .types import (
+    Constraint,
+    ConstraintConversionError,
+    NckError,
+    NegatedVar,
+    SelectionSet,
+    UnsatisfiableError,
+    Var,
+    VariableCollection,
+    nck,
+)
+
+__all__ = [
+    "AND_BLOCK",
+    "Block",
+    "Constraint",
+    "ConstraintConversionError",
+    "Env",
+    "NOT_BLOCK",
+    "NckError",
+    "NegatedVar",
+    "OR_BLOCK",
+    "SampleSet",
+    "SelectionSet",
+    "Solution",
+    "SolutionQuality",
+    "UnsatisfiableError",
+    "Var",
+    "VariableCollection",
+    "XOR_BLOCK",
+    "are_symmetric",
+    "cache_key",
+    "count_nonsymmetric",
+    "nck",
+    "symmetry_classes",
+    "symmetry_key",
+]

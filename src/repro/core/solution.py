@@ -1,0 +1,169 @@
+"""Solution objects and the optimal/suboptimal/incorrect classifier.
+
+Definition 8 of the paper: a solution over ``h`` hard and ``s`` soft
+constraints is
+
+* **optimal** if all hard and as many soft constraints as possible are
+  satisfied;
+* **suboptimal** if all hard (but fewer than the maximum number of soft)
+  constraints are satisfied;
+* **incorrect** if fewer than ``h`` hard constraints are satisfied.
+
+Classifying a result as optimal requires the maximum attainable number of
+satisfied soft constraints, which the paper obtains from the classical Z3
+solver; here :meth:`SolutionQuality.classify` accepts that bound from our
+classical exact solver (:mod:`repro.classical.nck_solver`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .env import Env
+
+
+class SolutionQuality(enum.Enum):
+    """Definition 8 labels."""
+
+    OPTIMAL = "optimal"
+    SUBOPTIMAL = "suboptimal"
+    INCORRECT = "incorrect"
+
+    @staticmethod
+    def classify(
+        env: "Env",
+        assignment: Mapping[str, bool],
+        max_soft_satisfiable: int,
+    ) -> "SolutionQuality":
+        """Classify ``assignment`` per Definition 8.
+
+        ``max_soft_satisfiable`` is the maximum number of soft constraints
+        any hard-feasible assignment can satisfy (classical ground truth).
+        """
+        hard_sat, soft_sat = env.satisfied_counts(assignment)
+        if hard_sat < len(env.hard_constraints):
+            return SolutionQuality.INCORRECT
+        if soft_sat < max_soft_satisfiable:
+            return SolutionQuality.SUBOPTIMAL
+        return SolutionQuality.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """One assignment returned by a backend, with bookkeeping.
+
+    ``assignment`` maps variable *names* to Boolean values and covers every
+    variable of the originating environment (ancillary variables introduced
+    during compilation are excluded — they are an implementation detail of
+    the QUBO encoding).
+    """
+
+    assignment: dict[str, bool]
+    energy: float = 0.0
+    hard_satisfied: int = 0
+    soft_satisfied: int = 0
+    hard_total: int = 0
+    soft_total: int = 0
+    num_occurrences: int = 1
+    backend: str = "unknown"
+    metadata: dict = field(default_factory=dict)
+
+    def __getitem__(self, var) -> bool:
+        name = getattr(var, "name", var)
+        return self.assignment[name]
+
+    @property
+    def all_hard_satisfied(self) -> bool:
+        return self.hard_satisfied == self.hard_total
+
+    def quality(self, max_soft_satisfiable: int) -> SolutionQuality:
+        """Definition 8 label given the classical soft-satisfaction bound."""
+        if not self.all_hard_satisfied:
+            return SolutionQuality.INCORRECT
+        if self.soft_satisfied < max_soft_satisfiable:
+            return SolutionQuality.SUBOPTIMAL
+        return SolutionQuality.OPTIMAL
+
+    @classmethod
+    def from_assignment(
+        cls,
+        env: "Env",
+        assignment: Mapping[str, bool],
+        *,
+        energy: float = 0.0,
+        backend: str = "unknown",
+        num_occurrences: int = 1,
+        metadata: dict | None = None,
+    ) -> "Solution":
+        """Build a solution, computing satisfaction counts from ``env``."""
+        named = {k: bool(v) for k, v in assignment.items()}
+        hard_sat, soft_sat = env.satisfied_counts(named)
+        return cls(
+            assignment=named,
+            energy=energy,
+            hard_satisfied=hard_sat,
+            soft_satisfied=soft_sat,
+            hard_total=len(env.hard_constraints),
+            soft_total=len(env.soft_constraints),
+            num_occurrences=num_occurrences,
+            backend=backend,
+            metadata=dict(metadata or {}),
+        )
+
+    def __repr__(self) -> str:
+        true_vars = sorted(k for k, v in self.assignment.items() if v)
+        return (
+            f"Solution(hard {self.hard_satisfied}/{self.hard_total}, "
+            f"soft {self.soft_satisfied}/{self.soft_total}, "
+            f"energy={self.energy:g}, true={true_vars})"
+        )
+
+
+@dataclass
+class SampleSet:
+    """An ordered collection of solutions from one backend execution.
+
+    Backends that draw many samples (the annealer's 100 reads, QAOA's shot
+    histogram) return all of them here, best (lowest energy) first, to let
+    callers apply the paper's acceptance rule: an annealing job counts as
+    solved when *any* read is optimal, while QAOA returns a single result.
+    """
+
+    solutions: list[Solution]
+    backend: str = "unknown"
+    timing: dict = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.solutions.sort(key=lambda s: s.energy)
+
+    @property
+    def best(self) -> Solution:
+        if not self.solutions:
+            raise ValueError("empty sample set")
+        return self.solutions[0]
+
+    def best_quality(self, max_soft_satisfiable: int) -> SolutionQuality:
+        """The best Definition 8 label over all samples.
+
+        Ordering: OPTIMAL beats SUBOPTIMAL beats INCORRECT.
+        """
+        rank = {
+            SolutionQuality.OPTIMAL: 0,
+            SolutionQuality.SUBOPTIMAL: 1,
+            SolutionQuality.INCORRECT: 2,
+        }
+        qualities = (s.quality(max_soft_satisfiable) for s in self.solutions)
+        return min(qualities, key=rank.__getitem__)
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __iter__(self):
+        return iter(self.solutions)
+
+    def __getitem__(self, i: int) -> Solution:
+        return self.solutions[i]

@@ -1,0 +1,273 @@
+"""Fundamental NchooseK data types.
+
+An NchooseK program is built from *constraints* of the form ``nck(N, K)``
+where ``N`` is a *variable collection* (a multiset of Boolean variables —
+repetition allowed, order irrelevant; Definition 1 of the paper) and ``K``
+is a *selection set* of whole numbers no larger than the cardinality of
+``N`` (Definition 2).  The constraint is satisfied when the number of TRUE
+elements of the collection, counting repetitions, is a member of ``K``
+(Definition 3).
+
+This module defines the immutable value types; :mod:`repro.core.env`
+provides the program container.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+class NckError(Exception):
+    """Base class for all NchooseK errors."""
+
+
+class ConstraintConversionError(NckError):
+    """A constraint could not be converted to a QUBO."""
+
+
+class UnsatisfiableError(NckError):
+    """No assignment satisfies every hard constraint."""
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A named Boolean variable.
+
+    Variables are interned by name inside an :class:`~repro.core.env.Env`;
+    two ``Var`` objects with the same name denote the same variable.
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __invert__(self) -> "NegatedVar":
+        """Return a negation marker, used by problem formulations (k-SAT)."""
+        return NegatedVar(self.name)
+
+
+@dataclass(frozen=True, order=True)
+class NegatedVar:
+    """A negated variable literal.
+
+    NchooseK itself has no notion of negation: Definition 3 counts TRUE
+    variables only.  Problem formulations (notably k-SAT, Section VI-A.f)
+    handle negation either with an ancilla variable constrained to the
+    opposite value or by repeating variables in the collection.  This
+    marker type lets instance generators talk about literals before one of
+    those encodings is chosen.
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"~{self.name}"
+
+    def __invert__(self) -> Var:
+        return Var(self.name)
+
+
+Literal = Var | NegatedVar
+
+
+class VariableCollection:
+    """A multiset of variables (Definition 1).
+
+    The *cardinality* counts elements with multiplicity and may exceed the
+    number of unique variables.
+    """
+
+    __slots__ = ("_counts", "_cardinality")
+
+    def __init__(self, variables: Iterable[Var | str]):
+        counts: Counter[Var] = Counter()
+        for v in variables:
+            if isinstance(v, str):
+                v = Var(v)
+            if not isinstance(v, Var):
+                raise TypeError(f"variable collection accepts Var or str, got {type(v).__name__}")
+            counts[v] += 1
+        if not counts:
+            raise ValueError("a variable collection must contain at least one variable")
+        self._counts: dict[Var, int] = dict(sorted(counts.items()))
+        self._cardinality = sum(self._counts.values())
+
+    @property
+    def cardinality(self) -> int:
+        """Number of elements, counting repetitions."""
+        return self._cardinality
+
+    @property
+    def counts(self) -> Mapping[Var, int]:
+        """Multiplicity of each unique variable, in sorted name order."""
+        return self._counts
+
+    @property
+    def unique(self) -> tuple[Var, ...]:
+        """The distinct variables, in sorted name order."""
+        return tuple(self._counts)
+
+    @property
+    def multiplicities(self) -> tuple[int, ...]:
+        """Multiplicities aligned with :attr:`unique`."""
+        return tuple(self._counts.values())
+
+    def true_count(self, assignment: Mapping[Var, bool] | Mapping[str, bool]) -> int:
+        """Number of TRUE elements (with multiplicity) under ``assignment``.
+
+        ``assignment`` may be keyed by :class:`Var` or by name.
+        """
+        total = 0
+        for v, m in self._counts.items():
+            val = assignment[v] if v in assignment else assignment[v.name]  # type: ignore[index]
+            total += m * int(bool(val))
+        return total
+
+    def __len__(self) -> int:
+        return self._cardinality
+
+    def __iter__(self):
+        for v, m in self._counts.items():
+            for _ in range(m):
+                yield v
+
+    def __contains__(self, v: Var | str) -> bool:
+        if isinstance(v, str):
+            v = Var(v)
+        return v in self._counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VariableCollection):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._counts.items()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            v.name if m == 1 else f"{v.name}×{m}" for v, m in self._counts.items()
+        )
+        return f"{{{parts}}}"
+
+
+class SelectionSet:
+    """A set of admissible TRUE-counts (Definition 2).
+
+    Every member must be a whole number no greater than the cardinality of
+    the corresponding variable collection; that upper bound is validated by
+    :class:`Constraint`, which knows the collection.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[int]):
+        vals = sorted(set(int(v) for v in values))
+        if not vals:
+            raise ValueError("a selection set must contain at least one count")
+        if vals[0] < 0:
+            raise ValueError(f"selection sets contain whole numbers, got {vals[0]}")
+        self._values: tuple[int, ...] = tuple(vals)
+
+    @property
+    def values(self) -> tuple[int, ...]:
+        return self._values
+
+    @property
+    def max(self) -> int:
+        return self._values[-1]
+
+    @property
+    def min(self) -> int:
+        return self._values[0]
+
+    def is_contiguous(self) -> bool:
+        """True when the set is an integer interval [min, max]."""
+        return len(self._values) == self._values[-1] - self._values[0] + 1
+
+    def __contains__(self, count: int) -> bool:
+        return count in self._values
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SelectionSet):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(map(str, self._values)) + "}"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An NchooseK constraint ``nck(N, K)`` (Definitions 3 and 5).
+
+    ``soft=False`` gives a *hard* constraint that every solution must
+    satisfy; ``soft=True`` gives a *soft* constraint whose satisfaction is
+    desired but not required — an executing backend maximizes the number of
+    satisfied soft constraints subject to all hard ones holding
+    (Definition 6).
+    """
+
+    collection: VariableCollection
+    selection: SelectionSet
+    soft: bool = False
+
+    def __post_init__(self) -> None:
+        if self.selection.max > self.collection.cardinality:
+            raise ValueError(
+                f"selection set {self.selection} exceeds collection cardinality "
+                f"{self.collection.cardinality}"
+            )
+
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        """Distinct variables referenced by the constraint."""
+        return self.collection.unique
+
+    def is_satisfied(self, assignment: Mapping[Var, bool] | Mapping[str, bool]) -> bool:
+        """Whether ``assignment`` satisfies this constraint (Definition 3)."""
+        return self.collection.true_count(assignment) in self.selection
+
+    def is_trivial(self) -> bool:
+        """True when every assignment satisfies the constraint.
+
+        A constraint is trivial when each reachable TRUE-count is in the
+        selection set.  Reachable counts are the subset sums of the
+        multiplicities.
+        """
+        reachable = {0}
+        for m in self.collection.multiplicities:
+            reachable |= {r + m for r in reachable}
+        return reachable <= set(self.selection.values)
+
+    def is_unsatisfiable(self) -> bool:
+        """True when no assignment satisfies the constraint."""
+        reachable = {0}
+        for m in self.collection.multiplicities:
+            reachable |= {r + m for r in reachable}
+        return not (reachable & set(self.selection.values))
+
+    def __repr__(self) -> str:
+        soft = ", soft" if self.soft else ""
+        return f"nck({self.collection!r}, {self.selection!r}{soft})"
+
+
+def nck(
+    collection: Iterable[Var | str],
+    selection: Iterable[int],
+    soft: bool = False,
+) -> Constraint:
+    """Convenience constructor mirroring the paper's ``nck(N, K[, soft])``."""
+    return Constraint(VariableCollection(collection), SelectionSet(selection), soft=soft)

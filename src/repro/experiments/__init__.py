@@ -1,0 +1,40 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from . import fig7, fig8_10, fig11, fig12, table1, timing
+from .ground_truth import max_soft_satisfiable
+from .records import (
+    CircuitMetrics,
+    ClassicalTimingPoint,
+    QualityTally,
+    TimingPoint,
+    format_table,
+)
+from .scaling import (
+    StudyPoint,
+    cover_study,
+    edge_study,
+    full_study,
+    sat_study,
+    vertex_study,
+)
+
+__all__ = [
+    "CircuitMetrics",
+    "ClassicalTimingPoint",
+    "QualityTally",
+    "StudyPoint",
+    "TimingPoint",
+    "cover_study",
+    "edge_study",
+    "fig7",
+    "fig8_10",
+    "fig11",
+    "fig12",
+    "format_table",
+    "full_study",
+    "max_soft_satisfiable",
+    "sat_study",
+    "table1",
+    "timing",
+    "vertex_study",
+]

@@ -1,0 +1,77 @@
+"""Figure 11: QAOA job run time vs. number of variables (box plots).
+
+The paper: "Each job comprised 4000 shots … and took between 7 and 23
+seconds.  We were unable to determine any correlation between problem
+size and time per job."  The driver samples the device timing model for
+each study instance, producing the per-variable-count distribution the
+boxplots summarize, plus the 25–35 jobs-per-execution count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.timing import CircuitTimingModel
+from .records import TimingPoint
+from .scaling import StudyPoint, cover_study, sat_study, vertex_study
+
+
+@dataclass
+class Fig11Config:
+    seed: int = 2022
+    jobs_per_execution: tuple[int, int] = (25, 35)
+
+
+def run(
+    points: list[StudyPoint] | None = None,
+    config: Fig11Config | None = None,
+    timing: CircuitTimingModel | None = None,
+) -> list[TimingPoint]:
+    """Per-job timing observations across study instances."""
+    config = config or Fig11Config()
+    timing = timing or CircuitTimingModel()
+    rng = np.random.default_rng(config.seed)
+    if points is None:
+        points = (
+            vertex_study(triangles=(2, 3, 4, 5))
+            + cover_study(sizes=((4, 4), (6, 6), (8, 8)))
+            + sat_study(sizes=((4, 6), (6, 10)))
+        )
+    observations: list[TimingPoint] = []
+    for point in points:
+        env = point.instance.build_env()
+        n = env.num_variables
+        num_jobs = int(rng.integers(config.jobs_per_execution[0], config.jobs_per_execution[1] + 1))
+        for _ in range(num_jobs):
+            observations.append(
+                TimingPoint(
+                    problem=point.problem,
+                    num_variables=n,
+                    job_time_s=timing.sample_job_time(rng),
+                )
+            )
+    return observations
+
+
+def boxplot_summary(observations: list[TimingPoint]) -> list[dict]:
+    """Quartile summaries per variable count (the figure's boxes)."""
+    by_n: dict[int, list[float]] = {}
+    for obs in observations:
+        by_n.setdefault(obs.num_variables, []).append(obs.job_time_s)
+    rows = []
+    for n in sorted(by_n):
+        times = np.array(by_n[n])
+        rows.append(
+            {
+                "num_variables": n,
+                "count": len(times),
+                "min": float(times.min()),
+                "q1": float(np.percentile(times, 25)),
+                "median": float(np.median(times)),
+                "q3": float(np.percentile(times, 75)),
+                "max": float(times.max()),
+            }
+        )
+    return rows

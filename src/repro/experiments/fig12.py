@@ -1,0 +1,76 @@
+"""Figure 12: classical solve time of minimum vertex cover vs. nodes.
+
+"Each problem was run 30 times on a circulant graph with the indicated
+number of nodes" — the paper fits the resulting times "very close to a
+polynomial equation."  The driver times our exact classical solver (the
+Z3 stand-in) on the same circulant family and fits ``log t`` against
+``log n`` to report the apparent polynomial degree over the tested
+window.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classical.nck_solver import ExactNckSolver
+from ..problems import MinVertexCover, circulant_graph
+from .records import ClassicalTimingPoint
+
+#: Node counts; kept within the window where the branch-and-bound stays
+#: sub-second-ish so 30 repetitions complete quickly.
+DEFAULT_SIZES = (9, 15, 21, 27, 33, 39)
+
+
+@dataclass
+class Fig12Config:
+    sizes: tuple[int, ...] = DEFAULT_SIZES
+    repetitions: int = 30
+    offsets: tuple[int, ...] = (1, 2)
+
+
+def run(config: Fig12Config | None = None) -> list[ClassicalTimingPoint]:
+    """Timing observations over the circulant family."""
+    config = config or Fig12Config()
+    points: list[ClassicalTimingPoint] = []
+    for n in config.sizes:
+        instance = MinVertexCover(circulant_graph(n, config.offsets))
+        env = instance.build_env()
+        for _ in range(config.repetitions):
+            solver = ExactNckSolver()
+            t0 = time.perf_counter()
+            solution = solver.solve(env)
+            elapsed = time.perf_counter() - t0
+            points.append(
+                ClassicalTimingPoint(
+                    num_nodes=n,
+                    solve_time_s=elapsed,
+                    cover_size=int(sum(solution.assignment.values())),
+                )
+            )
+    return points
+
+
+def polynomial_fit(points: list[ClassicalTimingPoint]) -> dict:
+    """Fit ``t ≈ c · n^d`` on the medians; report degree and residual."""
+    by_n: dict[int, list[float]] = {}
+    for p in points:
+        by_n.setdefault(p.num_nodes, []).append(p.solve_time_s)
+    ns = np.array(sorted(by_n))
+    medians = np.array([np.median(by_n[n]) for n in ns])
+    logs_n = np.log(ns.astype(float))
+    logs_t = np.log(np.maximum(medians, 1e-9))
+    (degree, log_c), residuals, *_ = np.linalg.lstsq(
+        np.column_stack([logs_n, np.ones_like(logs_n)]), logs_t, rcond=None
+    )
+    predicted = degree * logs_n + log_c
+    ss_res = float(((logs_t - predicted) ** 2).sum())
+    ss_tot = float(((logs_t - logs_t.mean()) ** 2).sum())
+    return {
+        "degree": float(degree),
+        "coefficient": float(np.exp(log_c)),
+        "r_squared": 1.0 - ss_res / ss_tot if ss_tot else 1.0,
+        "medians": {int(n): float(m) for n, m in zip(ns, medians)},
+    }

@@ -1,0 +1,97 @@
+"""Figure 7: percentage of optimal results vs. physical qubits (D-Wave).
+
+For each study instance the driver compiles the NchooseK program, embeds
+it into the Advantage-profile topology, runs one 100-read job, labels
+every read against the classical ground truth (Definition 8), and
+records the tally keyed by the number of physical qubits used — the
+figure's x-axis.
+
+The paper's headline observations this regenerates:
+
+* problems with soft constraints (mixed or all-soft) generally achieve a
+  lower percentage of *optimal* reads than hard-only problems at similar
+  qubit counts (the hard/soft bias compresses the soft energy gaps);
+* counting suboptimal reads as acceptable (``pct_correct``) flips that
+  ordering, with mixed problems scoring higher;
+* success decays as physical-qubit usage grows, and for clique cover the
+  *constraint* count (absent edges), not the variable count, drives the
+  qubit usage and the failure point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..annealing.device import AnnealingDevice, AnnealingDeviceProfile
+from ..annealing.embedding import EmbeddingError
+from ..core.solution import SolutionQuality
+from .ground_truth import max_soft_satisfiable
+from .records import QualityTally
+from .scaling import StudyPoint, cover_study, edge_study, sat_study, vertex_study
+
+
+@dataclass
+class Fig7Config:
+    """Knobs for the Figure 7 run (defaults sized for a bench run)."""
+
+    num_reads: int = 100
+    seed: int = 2022
+    noiseless: bool = False
+    max_logical_variables: int = 220  # skip instances beyond embed budget
+
+
+def run_point(
+    device: AnnealingDevice,
+    point: StudyPoint,
+    config: Fig7Config,
+    rng: np.random.Generator,
+) -> QualityTally | None:
+    """One 100-read job for one instance; None if it cannot embed."""
+    env = point.instance.build_env()
+    program = env.to_qubo()
+    if program.qubo.num_variables > config.max_logical_variables:
+        return None
+    truth = max_soft_satisfiable(point.instance, env)
+    try:
+        embedding = device.embed(program, rng=rng)
+    except EmbeddingError:
+        return None
+    samples = device.sample(
+        env, num_reads=config.num_reads, rng=rng, program=program, embedding=embedding
+    )
+    counts = {q: 0 for q in SolutionQuality}
+    for sol in samples:
+        counts[sol.quality(truth)] += 1
+    return QualityTally(
+        problem=point.problem,
+        label=point.label,
+        logical_variables=program.qubo.num_variables,
+        physical_qubits=embedding.num_physical_qubits,
+        constraints=env.num_constraints,
+        optimal=counts[SolutionQuality.OPTIMAL],
+        suboptimal=counts[SolutionQuality.SUBOPTIMAL],
+        incorrect=counts[SolutionQuality.INCORRECT],
+    )
+
+
+def run(
+    points: list[StudyPoint] | None = None,
+    config: Fig7Config | None = None,
+    device: AnnealingDevice | None = None,
+) -> list[QualityTally]:
+    """The full Figure 7 series."""
+    config = config or Fig7Config()
+    rng = np.random.default_rng(config.seed)
+    if device is None:
+        profile = AnnealingDeviceProfile.advantage41(noiseless=config.noiseless)
+        device = AnnealingDevice(profile)
+    if points is None:
+        points = vertex_study() + edge_study() + cover_study() + sat_study()
+    tallies = []
+    for point in points:
+        tally = run_point(device, point, config, rng)
+        if tally is not None:
+            tallies.append(tally)
+    return tallies

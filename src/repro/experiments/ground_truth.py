@@ -1,0 +1,48 @@
+"""Definition 8 ground truth: maximum satisfiable soft constraints.
+
+The paper labels quantum results optimal/suboptimal/incorrect "by
+checking against the Z3 solver, which solves the problems classically."
+This module plays that role, dispatching to the cheapest exact method:
+
+* hard-only programs: the bound is trivially 0 (a result is optimal iff
+  every hard constraint holds);
+* max cut on the vertex-scaling family: the O(k) transfer DP;
+* everything else: the exact branch-and-bound nck solver.
+"""
+
+from __future__ import annotations
+
+from ..classical.nck_solver import ExactNckSolver
+from ..core.env import Env
+from ..problems import MaxCut, ProblemInstance
+from ..problems.graphs import chain_triangle_maxcut, vertex_scaling_graph
+
+
+def max_soft_satisfiable(instance: ProblemInstance, env: Env | None = None) -> int:
+    """Ground-truth maximum number of satisfiable soft constraints."""
+    env = env or instance.build_env()
+    if not env.soft_constraints:
+        return 0
+    if isinstance(instance, MaxCut):
+        k = _as_chain_of_triangles(instance)
+        if k is not None:
+            return chain_triangle_maxcut(k)
+    return ExactNckSolver().max_soft_satisfiable(env)
+
+
+def _as_chain_of_triangles(instance: MaxCut) -> int | None:
+    """Triangle count if the instance graph is the vertex-scaling family."""
+    g = instance.graph
+    n = g.number_of_nodes()
+    if n % 3 != 0 or n == 0:
+        return None
+    k = n // 3
+    try:
+        reference = vertex_scaling_graph(k)
+    except ValueError:
+        return None
+    if set(g.nodes) == set(reference.nodes) and set(map(frozenset, g.edges)) == set(
+        map(frozenset, reference.edges)
+    ):
+        return k
+    return None

@@ -1,0 +1,88 @@
+"""Terminal-friendly scatter/series plots for the figure harnesses.
+
+The paper's figures are scatter plots; the benches print their rows, and
+this module renders a compact ASCII view so the *shape* (decay, spread,
+crossover) is visible directly in the bench log without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Marker per series, cycled.
+MARKERS = "ox+*#@%&"
+
+
+def ascii_scatter(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 68,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    Overlapping points show the marker of the last series drawn.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, pts) in enumerate(series.items()):
+        marker = MARKERS[si % len(MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    for ri, row in enumerate(grid):
+        y_tick = y_hi - ri * y_span / (height - 1)
+        prefix = f"{y_tick:9.3g} ┤" if ri % 4 == 0 or ri == height - 1 else " " * 10 + "│"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "└" + "─" * width)
+    lines.append(
+        " " * 11 + f"{x_lo:<.4g}".ljust(width - 10) + f"{x_hi:>.4g}"
+    )
+    lines.append(f"          x: {x_label}   y: {y_label}")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"          {legend}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: dict[str, Sequence[tuple[float, float]]],
+    **kwargs,
+) -> str:
+    """Alias for :func:`ascii_scatter`; series are sorted by x first."""
+    ordered = {
+        name: sorted(pts, key=lambda p: p[0]) for name, pts in series.items()
+    }
+    return ascii_scatter(ordered, **kwargs)
+
+
+def log_bins(values: Sequence[float], bins: int = 10) -> list[tuple[float, int]]:
+    """Histogram over logarithmic bins, for timing distributions."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return []
+    lo, hi = math.log10(min(vals)), math.log10(max(vals))
+    if hi - lo < 1e-12:
+        return [(min(vals), len(vals))]
+    edges = [10 ** (lo + (hi - lo) * i / bins) for i in range(bins + 1)]
+    counts = [0] * bins
+    for v in vals:
+        idx = min(int((math.log10(v) - lo) / (hi - lo) * bins), bins - 1)
+        counts[idx] += 1
+    return [(edges[i], counts[i]) for i in range(bins)]

@@ -1,0 +1,139 @@
+"""One-shot report generator: run every experiment, write Markdown.
+
+``python -m repro report [-o report.md]`` executes each table/figure
+driver at the quick configuration and renders a single self-contained
+Markdown document — measured tables, ASCII figures, timing breakdowns —
+so a reader can diff a fresh environment's results against
+``EXPERIMENTS.md`` without touching pytest.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+
+from . import fig7, fig8_10, fig11, fig12, table1
+from .plotting import ascii_series
+from .records import format_table
+from .scaling import cover_study, edge_study, sat_study, vertex_study
+from .timing import dwave_job_breakdown, ibm_execution_breakdown
+
+
+def generate_report(seed: int = 2022, full: bool = False) -> str:
+    """Run all experiments and return the Markdown report."""
+    sections = [
+        _header(seed, full),
+        _section_table1(),
+        _section_fig7(seed, full),
+        _section_fig8_10(seed, full),
+        _section_fig11(),
+        _section_fig12(full),
+        _section_timing(),
+    ]
+    return "\n\n".join(sections) + "\n"
+
+
+def _header(seed: int, full: bool) -> str:
+    stamp = datetime.datetime.now().isoformat(timespec="seconds")
+    return (
+        "# NchooseK reproduction — measured report\n\n"
+        f"- generated: {stamp}\n"
+        f"- python: {platform.python_version()} on {platform.machine()}\n"
+        f"- seed: {seed}, configuration: {'full' if full else 'quick'}\n\n"
+        "Compare shapes against the paper per `EXPERIMENTS.md`."
+    )
+
+
+def _code(text: str) -> str:
+    return "```\n" + text.rstrip("\n") + "\n```"
+
+
+def _section_table1() -> str:
+    rows = table1.run()
+    return "## Table I — complexity comparison\n\n" + _code(table1.render(rows))
+
+
+def _section_fig7(seed: int, full: bool) -> str:
+    points = None
+    if not full:
+        points = (
+            vertex_study(triangles=(3, 5, 7))
+            + edge_study(edges=(18, 48, 63))
+            + cover_study(sizes=((4, 4), (8, 8)))
+            + sat_study(sizes=((5, 8),))
+        )
+    tallies = fig7.run(points=points, config=fig7.Fig7Config(seed=seed))
+    table = format_table(
+        sorted(tallies, key=lambda t: (t.problem, t.physical_qubits))
+    )
+    series: dict = {}
+    for t in tallies:
+        series.setdefault(t.problem, []).append((t.physical_qubits, t.pct_optimal))
+    figure = ascii_series(series, x_label="physical qubits", y_label="% optimal")
+    return (
+        "## Figure 7 — D-Wave: % optimal vs physical qubits\n\n"
+        + _code(table)
+        + "\n\n"
+        + _code(figure)
+    )
+
+
+def _section_fig8_10(seed: int, full: bool) -> str:
+    if full:
+        metrics = fig8_10.run(config=fig8_10.Fig8Config(seed=seed))
+    else:
+        points = (
+            vertex_study(triangles=(2, 3, 4))
+            + cover_study(sizes=((4, 4), (8, 8)))
+            + sat_study(sizes=((4, 6),))
+        )
+        metrics = fig8_10.run(points=points, config=fig8_10.Fig8Config(seed=seed))
+    table = format_table(sorted(metrics, key=lambda m: (m.problem, m.depth)))
+    series: dict = {}
+    for m in metrics:
+        series.setdefault(m.problem, []).append((m.constraints, m.depth))
+    figure = ascii_series(series, x_label="constraints", y_label="depth")
+    return (
+        "## Figures 8–10 — IBM: qubits, depth, constraints\n\n"
+        + _code(table)
+        + "\n\nFigure 10 projection (constraints → depth):\n\n"
+        + _code(figure)
+    )
+
+
+def _section_fig11() -> str:
+    rows = fig11.boxplot_summary(fig11.run())
+    lines = [f"{'vars':>5} {'n':>5} {'min':>6} {'q1':>6} {'med':>6} {'q3':>6} {'max':>6}"]
+    for r in rows:
+        lines.append(
+            f"{r['num_variables']:>5} {r['count']:>5} {r['min']:>6.1f} "
+            f"{r['q1']:>6.1f} {r['median']:>6.1f} {r['q3']:>6.1f} {r['max']:>6.1f}"
+        )
+    return "## Figure 11 — QAOA job time vs variables\n\n" + _code("\n".join(lines))
+
+
+def _section_fig12(full: bool) -> str:
+    config = fig12.Fig12Config(
+        sizes=(9, 15, 21, 27, 33, 39) if full else (9, 15, 21, 27),
+        repetitions=30 if full else 10,
+    )
+    points = fig12.run(config)
+    fit = fig12.polynomial_fit(points)
+    lines = [f"{'nodes':>6} {'median_s':>10}"]
+    for n, med in sorted(fit["medians"].items()):
+        lines.append(f"{n:>6} {med:>10.4f}")
+    lines.append(
+        f"fit: t ≈ {fit['coefficient']:.2e} · n^{fit['degree']:.2f} "
+        f"(R² = {fit['r_squared']:.3f})"
+    )
+    return "## Figure 12 — classical MVC scaling\n\n" + _code("\n".join(lines))
+
+
+def _section_timing() -> str:
+    lines = ["D-Wave job (100 samples), seconds:"]
+    for key, value in dwave_job_breakdown(100).items():
+        lines.append(f"  {key:16s} {value:.4f}")
+    lines.append("IBM QAOA execution, seconds:")
+    for key, value in ibm_execution_breakdown().items():
+        lines.append(f"  {key:24s} {value:.1f}")
+    return "## Section VIII-C — timing\n\n" + _code("\n".join(lines))

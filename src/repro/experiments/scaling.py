@@ -1,0 +1,127 @@
+"""Instance generators for the Section VII scaling studies.
+
+Two studies drive Figures 7–10:
+
+* **vertex scaling** — all four graph problems (Minimum Vertex Cover,
+  Max Cut, Clique Cover, Map Coloring) run on the same graphs: chains of
+  3-cliques growing by one triangle per step (9, 12, … vertices), with
+  larger increments past 33 vertices;
+* **edge scaling** — the 12-vertex clique-cover family from 18 edges
+  (four triangles) through the 48- and 63-edge waypoints.
+
+Cover/SAT problems are generated randomly in increasing size, exact and
+minimum set cover sharing the same sets and subsets, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..problems import (
+    CliqueCover,
+    ExactCover,
+    KSat,
+    MapColoring,
+    MaxCut,
+    MinSetCover,
+    MinVertexCover,
+    ProblemInstance,
+    edge_scaling_graph,
+    vertex_scaling_graph,
+)
+
+#: Default triangle counts for the vertex study (3k vertices each):
+#: 3..11 triangles = 9..33 vertices, the paper's fine-grained region.
+VERTEX_STUDY_TRIANGLES = (3, 5, 7, 9, 11)
+
+#: Edge counts for the edge study (paper: 18 → 48 in steps of 6–7, then
+#: on to 63).
+EDGE_STUDY_EDGES = (18, 24, 31, 37, 44, 48, 55, 63)
+
+#: Number of colors used by map coloring / cliques by clique cover on the
+#: vertex-study graphs (3-chromatic chains of triangles need 3; we use 3
+#: to keep instances satisfiable).
+VERTEX_STUDY_COLORS = 3
+
+
+@dataclass(frozen=True)
+class StudyPoint:
+    """One instance in a scaling study."""
+
+    problem: str
+    label: str
+    instance: ProblemInstance
+
+
+def vertex_study(
+    problems: tuple[str, ...] = ("min-vertex-cover", "max-cut", "clique-cover", "map-coloring"),
+    triangles: tuple[int, ...] = VERTEX_STUDY_TRIANGLES,
+) -> list[StudyPoint]:
+    """The vertex-scaling study: graph problems on shared graphs."""
+    points: list[StudyPoint] = []
+    for k in triangles:
+        g = vertex_scaling_graph(k)
+        label = f"{g.number_of_nodes()}v"
+        for name in problems:
+            points.append(StudyPoint(name, label, _graph_problem(name, g, k)))
+    return points
+
+
+def edge_study(
+    edges: tuple[int, ...] = EDGE_STUDY_EDGES,
+    num_cliques: int = 4,
+) -> list[StudyPoint]:
+    """The edge-scaling study: clique cover on densifying 12-vertex graphs."""
+    points: list[StudyPoint] = []
+    for e in edges:
+        g = edge_scaling_graph(e)
+        points.append(
+            StudyPoint("clique-cover", f"{e}e", CliqueCover(g, num_cliques))
+        )
+    return points
+
+
+def cover_study(
+    sizes: tuple[tuple[int, int], ...] = ((4, 4), (6, 6), (8, 8), (10, 10), (12, 12)),
+    seed: int = 7,
+) -> list[StudyPoint]:
+    """Random exact-cover / min-set-cover instances on shared subsets."""
+    rng = np.random.default_rng(seed)
+    points: list[StudyPoint] = []
+    for n_elem, n_sub in sizes:
+        ec = ExactCover.random_satisfiable(n_elem, n_sub, rng)
+        label = f"{n_elem}el/{len(ec.subsets)}s"
+        points.append(StudyPoint("exact-cover", label, ec))
+        points.append(StudyPoint("min-set-cover", label, MinSetCover.from_exact_cover(ec)))
+    return points
+
+
+def sat_study(
+    sizes: tuple[tuple[int, int], ...] = ((5, 8), (8, 14), (11, 20), (14, 26)),
+    seed: int = 11,
+) -> list[StudyPoint]:
+    """Random satisfiable 3-SAT instances of increasing size."""
+    rng = np.random.default_rng(seed)
+    return [
+        StudyPoint("3-sat", f"{n}v/{m}c", KSat.random_3sat(n, m, rng))
+        for n, m in sizes
+    ]
+
+
+def full_study(**kwargs) -> list[StudyPoint]:
+    """All Section VII workloads (graph + cover + SAT studies)."""
+    return vertex_study() + edge_study() + cover_study() + sat_study()
+
+
+def _graph_problem(name: str, g, num_triangles: int) -> ProblemInstance:
+    if name == "min-vertex-cover":
+        return MinVertexCover(g)
+    if name == "max-cut":
+        return MaxCut(g)
+    if name == "clique-cover":
+        # A chain of k triangles is coverable by exactly its k triangles.
+        return CliqueCover(g, num_triangles)
+    if name == "map-coloring":
+        return MapColoring(g, VERTEX_STUDY_COLORS)
+    raise ValueError(f"unknown graph problem {name!r}")

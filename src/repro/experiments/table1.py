@@ -1,0 +1,92 @@
+"""Table I: complexity comparison of the seven problems.
+
+The paper's table lists, per problem: complexity class, number of
+mutually non-symmetric constraints, total NchooseK constraints, and QUBO
+terms of the direct formulation.  This driver *measures* all four from
+the implementations (instead of quoting formulas) on reference instances,
+and also reports the generated-QUBO term count for the §VI-B
+generated-vs-handcrafted comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..problems import (
+    CliqueCover,
+    ExactCover,
+    KSat,
+    MapColoring,
+    MaxCut,
+    MinSetCover,
+    MinVertexCover,
+    ProblemInstance,
+    edge_scaling_graph,
+    vertex_scaling_graph,
+)
+from .records import format_table
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    problem: str
+    complexity_class: str
+    instance: str
+    nonsymmetric: int
+    nck_constraints: int
+    handmade_qubo_terms: int
+    generated_qubo_terms: int
+
+
+def reference_instances(seed: int = 3) -> list[ProblemInstance]:
+    """One representative instance per Table I row, paper ordering."""
+    rng = np.random.default_rng(seed)
+    g = vertex_scaling_graph(4)  # 12 vertices, 18 edges
+    ec = ExactCover.random_satisfiable(8, 8, rng)
+    return [
+        ec,
+        MinSetCover.from_exact_cover(ec),
+        MinVertexCover(g),
+        MapColoring(g, 3),
+        CliqueCover(edge_scaling_graph(18), 4),
+        KSat.random_3sat(8, 12, rng),
+        MaxCut(g),
+    ]
+
+
+def run(instances: list[ProblemInstance] | None = None) -> list[Table1Row]:
+    """Measure every Table I column on the reference instances."""
+    instances = instances if instances is not None else reference_instances()
+    rows = []
+    for inst in instances:
+        rows.append(
+            Table1Row(
+                problem=inst.table_name,
+                complexity_class=inst.complexity_class,
+                instance=_describe(inst),
+                nonsymmetric=inst.nonsymmetric_constraint_count(),
+                nck_constraints=inst.nck_constraint_count(),
+                handmade_qubo_terms=inst.handmade_qubo_terms(),
+                generated_qubo_terms=inst.generated_qubo_terms(),
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    return format_table(rows)
+
+
+def _describe(inst: ProblemInstance) -> str:
+    if isinstance(inst, (ExactCover, MinSetCover)):
+        return f"{inst.num_elements}el/{len(inst.subsets)}sub"
+    if isinstance(inst, KSat):
+        return f"{inst.num_vars}v/{len(inst.clauses)}cl"
+    if isinstance(inst, (MapColoring,)):
+        return f"{inst.graph.number_of_nodes()}v/{inst.graph.number_of_edges()}e/{inst.num_colors}col"
+    if isinstance(inst, (CliqueCover,)):
+        return f"{inst.graph.number_of_nodes()}v/{inst.graph.number_of_edges()}e/{inst.num_cliques}k"
+    g = inst.graph  # type: ignore[attr-defined]
+    return f"{g.number_of_nodes()}v/{g.number_of_edges()}e"

@@ -1,0 +1,32 @@
+"""The Table I problem library: instances, formulations, baselines."""
+
+from .base import ProblemInstance, TableRow
+from .clique_cover import CliqueCover
+from .exact_cover import ExactCover
+from .graphs import (
+    circulant_graph,
+    edge_scaling_graph,
+    vertex_names,
+    vertex_scaling_graph,
+)
+from .ksat import KSat
+from .map_coloring import MapColoring
+from .max_cut import MaxCut
+from .set_cover import MinSetCover
+from .vertex_cover import MinVertexCover
+
+__all__ = [
+    "CliqueCover",
+    "ExactCover",
+    "KSat",
+    "MapColoring",
+    "MaxCut",
+    "MinSetCover",
+    "MinVertexCover",
+    "ProblemInstance",
+    "TableRow",
+    "circulant_graph",
+    "edge_scaling_graph",
+    "vertex_names",
+    "vertex_scaling_graph",
+]

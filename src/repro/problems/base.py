@@ -1,0 +1,82 @@
+"""Common infrastructure for the Table I problem library.
+
+Every problem module exposes an instance dataclass deriving from
+:class:`ProblemInstance` with four capabilities the experiments need:
+
+* ``build_env()`` — the NchooseK formulation (Section VI-A);
+* ``handmade_qubo()`` — the Lucas-style handcrafted QUBO the paper
+  compares against (Section VI-B);
+* ``verify(assignment)`` — domain-level validity of a solution;
+* ``objective(assignment)`` — the optimized quantity (None for pure
+  satisfaction problems).
+
+Counting helpers derive the Table I columns (constraint count,
+non-symmetric classes, QUBO term count) directly from the formulations,
+so the bench regenerates the table from code rather than formulas.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.env import Env
+from ..core.symmetry import count_nonsymmetric
+from ..qubo.model import QUBO
+
+
+class ProblemInstance(abc.ABC):
+    """One concrete instance of a Table I problem."""
+
+    #: Paper complexity class label: "NP-C" or "NP-H".
+    complexity_class: str = "NP-C"
+    #: Problem name as it appears in Table I.
+    table_name: str = "?"
+
+    @abc.abstractmethod
+    def build_env(self) -> Env:
+        """The NchooseK formulation."""
+
+    @abc.abstractmethod
+    def handmade_qubo(self) -> QUBO:
+        """The handcrafted QUBO a practitioner would write (Lucas-style)."""
+
+    @abc.abstractmethod
+    def verify(self, assignment: Mapping[str, bool]) -> bool:
+        """Whether ``assignment`` is a valid solution of the instance."""
+
+    def objective(self, assignment: Mapping[str, bool]) -> float | None:
+        """Optimized quantity (minimized); None for satisfaction problems."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Table I metrics
+    # ------------------------------------------------------------------
+    def nck_constraint_count(self) -> int:
+        """Total NchooseK constraints (Table I column 4)."""
+        return self.build_env().num_constraints
+
+    def nonsymmetric_constraint_count(self) -> int:
+        """Mutually non-symmetric constraint classes (Table I column 3)."""
+        return count_nonsymmetric(self.build_env().constraints)
+
+    def handmade_qubo_terms(self) -> int:
+        """Nonzero terms of the handcrafted QUBO (Table I column 5)."""
+        return self.handmade_qubo().num_terms()
+
+    def generated_qubo_terms(self, **compile_kwargs) -> int:
+        """Nonzero terms of the NchooseK-compiled QUBO."""
+        return self.build_env().to_qubo(**compile_kwargs).qubo.num_terms()
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One measured Table I row."""
+
+    problem: str
+    complexity_class: str
+    nonsymmetric: int
+    nck_constraints: int
+    qubo_terms: int
+    instance_size: str

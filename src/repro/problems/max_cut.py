@@ -1,0 +1,94 @@
+"""Maximum Cut (NP-hard) — the paper's all-soft problem.
+
+NchooseK formulation (Section IV-C): one soft constraint
+``nck({u, v}, {1}, soft)`` per edge — a preference that every edge be
+cut; NchooseK maximizes the number satisfied.  One symmetry class.
+
+The paper also sketches an alternative encoding with an explicit cut
+indicator variable per edge ("this works, but adds many unnecessary
+variables and greatly increases the number and complexity of
+constraints"); :meth:`MaxCut.build_env_indicator` implements it for the
+encoding-comparison ablation.
+
+Handcrafted Ising/QUBO: :math:`H = \\sum_{(u,v)} s_u s_v`, i.e. in QUBO
+form ``Σ 2 x_u x_v − x_u − x_v + const`` — ``O(|E| + |V|)`` terms after
+the Ising→QUBO conversion, as Table I notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import networkx as nx
+
+from ..core.env import Env
+from ..qubo.model import QUBO
+from .base import ProblemInstance
+from .graphs import vertex_names
+
+
+@dataclass
+class MaxCut(ProblemInstance):
+    """A maximum-cut instance over ``graph``."""
+
+    graph: nx.Graph
+    complexity_class = "NP-H"
+    table_name = "Max. Cut"
+    _names: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._names = vertex_names(self.graph)
+
+    # ------------------------------------------------------------------
+    def build_env(self) -> Env:
+        env = Env()
+        for u, v in self.graph.edges:
+            env.nck([self._names[u], self._names[v]], [1], soft=True)
+        return env
+
+    def build_env_indicator(self) -> Env:
+        """The indicator-variable encoding the paper advises against.
+
+        Per edge ``(u, v)``: an indicator ``c_uv`` constrained (hard) to
+        equal ``u XOR v`` via ``nck({u, v, c}, {0, 2})``, plus the soft
+        maximization ``nck({c}, {1}, soft)``.
+        """
+        env = Env()
+        for u, v in self.graph.edges:
+            c = f"cut_{self._names[u]}_{self._names[v]}"
+            env.nck([self._names[u], self._names[v], c], [0, 2])
+            env.prefer_true(c)
+        return env
+
+    def handmade_qubo(self) -> QUBO:
+        q = QUBO()
+        for u, v in self.graph.edges:
+            # Ising s_u s_v → QUBO: 2x_u x_v − x_u − x_v (+ offset 1 to
+            # keep each satisfied edge at contribution 0).
+            q.offset += 1.0
+            q.add_quadratic(self._names[u], self._names[v], 2.0)
+            q.add_linear(self._names[u], -1.0)
+            q.add_linear(self._names[v], -1.0)
+        return q
+
+    # ------------------------------------------------------------------
+    def cut_size(self, assignment: Mapping[str, bool]) -> int:
+        return sum(
+            bool(assignment[self._names[u]]) != bool(assignment[self._names[v]])
+            for u, v in self.graph.edges
+        )
+
+    def verify(self, assignment: Mapping[str, bool]) -> bool:
+        """Any 2-partition is a valid cut; validity is vacuous."""
+        return all(self._names[u] in assignment for u in self.graph.nodes)
+
+    def objective(self, assignment: Mapping[str, bool]) -> float:
+        """Negated cut size (framework minimizes)."""
+        return -float(self.cut_size(assignment))
+
+    def optimal_cut_size(self) -> int:
+        from ..classical.nck_solver import ExactNckSolver
+
+        env = self.build_env()
+        return ExactNckSolver().max_soft_satisfiable(env)

@@ -1,0 +1,117 @@
+"""Minimum set cover (NP-hard).
+
+Same data as exact cover, but elements may be covered multiple times and
+the number of chosen subsets is minimized.  NchooseK formulation
+(Section VI-A.b): per element, the at-least-once constraint
+``nck({s_i : e ∈ s_i}, {1..card})``; plus the soft minimization idiom
+``nck({s_i}, {0}, soft)`` per subset.
+
+Handcrafted QUBO: per element an at-least-one penalty with a log-encoded
+slack — :math:`A (\\sum_{i \\ni e} x_i - 1 - w_e)^2` with binary slack
+``w_e`` — plus ``B Σ x_i`` with ``A > B`` (the two coefficients the paper
+notes "need to be chosen and balanced against each other").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.env import Env
+from ..qubo.model import QUBO
+from .base import ProblemInstance
+from .exact_cover import ExactCover
+
+
+@dataclass
+class MinSetCover(ProblemInstance):
+    """Cover ``num_elements`` elements with the fewest subsets."""
+
+    num_elements: int
+    subsets: tuple[frozenset[int], ...]
+    complexity_class = "NP-H"
+    table_name = "Min. Cover"
+
+    def __post_init__(self) -> None:
+        self.subsets = tuple(frozenset(s) for s in self.subsets)
+        covered = set().union(*self.subsets) if self.subsets else set()
+        missing = set(range(self.num_elements)) - covered
+        if missing:
+            raise ValueError(f"elements {sorted(missing)} appear in no subset")
+
+    def var(self, subset_index: int) -> str:
+        return f"s{subset_index:03d}"
+
+    def _members(self, element: int) -> list[int]:
+        return [i for i, s in enumerate(self.subsets) if element in s]
+
+    # ------------------------------------------------------------------
+    def build_env(self) -> Env:
+        env = Env()
+        for e in range(self.num_elements):
+            members = self._members(e)
+            env.nck([self.var(i) for i in members], range(1, len(members) + 1))
+        for i in range(len(self.subsets)):
+            env.prefer_false(self.var(i))
+        return env
+
+    def handmade_qubo(self, hard_weight: float | None = None) -> QUBO:
+        """Slack-encoded at-least-one penalties + linear minimization.
+
+        ``hard_weight`` defaults to ``len(subsets) + 1`` so that covering
+        always dominates subset count (the balance the paper mentions).
+        """
+        A = hard_weight if hard_weight is not None else float(len(self.subsets) + 1)
+        q = QUBO()
+        for e in range(self.num_elements):
+            members = [self.var(i) for i in self._members(e)]
+            span = len(members) - 1
+            weights: list[int] = []
+            remaining, w = span, 1
+            while remaining > 0:
+                c = min(w, remaining)
+                weights.append(c)
+                remaining -= c
+                w *= 2
+            slacks = [f"w_e{e:03d}_{j}" for j in range(len(weights))]
+            # A (Σx − 1 − Σ c_j y_j)²  expanded over binaries.
+            q.offset += A
+            for name in members:
+                q.add_linear(name, A * (1.0 - 2.0))
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    q.add_quadratic(members[a], members[b], 2.0 * A)
+            for cj, yj in zip(weights, slacks):
+                q.add_linear(yj, A * float(cj * cj + 2 * cj))
+                for name in members:
+                    q.add_quadratic(name, yj, -2.0 * A * cj)
+            for a in range(len(weights)):
+                for b in range(a + 1, len(weights)):
+                    q.add_quadratic(slacks[a], slacks[b], 2.0 * A * weights[a] * weights[b])
+        for i in range(len(self.subsets)):
+            q.add_linear(self.var(i), 1.0)
+        return q
+
+    # ------------------------------------------------------------------
+    def verify(self, assignment: Mapping[str, bool]) -> bool:
+        chosen = [i for i in range(len(self.subsets)) if assignment[self.var(i)]]
+        covered = set().union(*(self.subsets[i] for i in chosen)) if chosen else set()
+        return covered == set(range(self.num_elements))
+
+    def objective(self, assignment: Mapping[str, bool]) -> float:
+        return float(
+            sum(bool(assignment[self.var(i)]) for i in range(len(self.subsets)))
+        )
+
+    def optimal_cover_size(self) -> int:
+        from ..classical.nck_solver import ExactNckSolver
+
+        env = self.build_env()
+        best = ExactNckSolver().solve(env)
+        return int(self.objective(best.assignment))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_exact_cover(cls, instance: ExactCover) -> "MinSetCover":
+        """The paper runs both covers on the same sets and subsets."""
+        return cls(num_elements=instance.num_elements, subsets=instance.subsets)

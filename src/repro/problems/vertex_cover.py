@@ -1,0 +1,80 @@
+"""Minimum Vertex Cover (Section IV's motivating problem; NP-hard).
+
+NchooseK formulation: one variable per vertex (TRUE ⇔ in the cover);
+``nck({u, v}, {1, 2})`` per edge (at least one endpoint covered) and the
+soft minimization idiom ``nck({v}, {0}, soft)`` per vertex.  Exactly two
+non-symmetric constraint classes (Table I row 3).
+
+Handcrafted QUBO (Lucas §4.3):
+
+.. math::
+
+    H = A \\sum_{(u,v) \\in E} (1 - x_u)(1 - x_v) + B \\sum_v x_v,
+    \\qquad A > B > 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import networkx as nx
+
+from ..core.env import Env
+from ..qubo.model import QUBO
+from .base import ProblemInstance
+from .graphs import vertex_names
+
+
+@dataclass
+class MinVertexCover(ProblemInstance):
+    """A minimum-vertex-cover instance over ``graph``."""
+
+    graph: nx.Graph
+    complexity_class = "NP-H"
+    table_name = "Min. Vert. Cover"
+    _names: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._names = vertex_names(self.graph)
+
+    # ------------------------------------------------------------------
+    def build_env(self) -> Env:
+        env = Env()
+        for u, v in self.graph.edges:
+            env.nck([self._names[u], self._names[v]], [1, 2])
+        for u in self.graph.nodes:
+            env.prefer_false(self._names[u])
+        return env
+
+    def handmade_qubo(self, penalty: float = 2.0) -> QUBO:
+        q = QUBO()
+        for u, v in self.graph.edges:
+            # A(1-x_u)(1-x_v) = A - A x_u - A x_v + A x_u x_v
+            q.offset += penalty
+            q.add_linear(self._names[u], -penalty)
+            q.add_linear(self._names[v], -penalty)
+            q.add_quadratic(self._names[u], self._names[v], penalty)
+        for u in self.graph.nodes:
+            q.add_linear(self._names[u], 1.0)
+        return q
+
+    # ------------------------------------------------------------------
+    def verify(self, assignment: Mapping[str, bool]) -> bool:
+        """All edges covered?"""
+        return all(
+            assignment[self._names[u]] or assignment[self._names[v]]
+            for u, v in self.graph.edges
+        )
+
+    def objective(self, assignment: Mapping[str, bool]) -> float:
+        """Cover size (minimized)."""
+        return float(sum(bool(assignment[self._names[u]]) for u in self.graph.nodes))
+
+    def optimal_cover_size(self) -> int:
+        """Exact minimum cover size via the classical nck solver."""
+        from ..classical.nck_solver import ExactNckSolver
+
+        env = self.build_env()
+        best = ExactNckSolver().solve(env)
+        return int(self.objective(best.assignment))

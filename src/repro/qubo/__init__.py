@@ -1,0 +1,17 @@
+"""QUBO intermediate representation and Ising conversion."""
+
+from .ising import IsingModel, bits_to_spins, ising_to_qubo, qubo_to_ising, spins_to_bits
+from .matrix import enumerate_assignments, from_dense, to_dense
+from .model import QUBO
+
+__all__ = [
+    "IsingModel",
+    "QUBO",
+    "bits_to_spins",
+    "enumerate_assignments",
+    "from_dense",
+    "ising_to_qubo",
+    "qubo_to_ising",
+    "spins_to_bits",
+    "to_dense",
+]

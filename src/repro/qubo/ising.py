@@ -1,0 +1,144 @@
+"""QUBO ⇄ Ising conversion.
+
+Both quantum backends natively express two-local Ising Hamiltonians
+
+.. math::
+
+    H(s) = c + \\sum_i h_i s_i + \\sum_{i<j} J_{ij} s_i s_j,
+    \\qquad s_i \\in \\{-1, +1\\}.
+
+The linear transformation ``x = (1 - s) / 2`` (paper Section VI: "a simple
+linear transformation maps between the two problem forms") converts
+between spins and binaries.  We adopt the convention that spin **up**
+(``s = +1``) encodes binary 0 and spin **down** (``s = -1``) encodes
+binary 1, matching the usual annealing-hardware mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .model import QUBO
+
+
+@dataclass
+class IsingModel:
+    """Sparse two-local Ising Hamiltonian over named spins."""
+
+    h: dict[str, float] = field(default_factory=dict)
+    J: dict[tuple[str, str], float] = field(default_factory=dict)
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        canon: dict[tuple[str, str], float] = {}
+        for (u, v), coeff in self.J.items():
+            if u == v:
+                # s*s == 1 for spins: a diagonal coupler is a constant.
+                self.offset += coeff
+                continue
+            key = (u, v) if u < v else (v, u)
+            canon[key] = canon.get(key, 0.0) + coeff
+        self.J = canon
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        names = set(self.h)
+        for u, v in self.J:
+            names.add(u)
+            names.add(v)
+        return tuple(sorted(names))
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def energy(self, spins: Mapping[str, int]) -> float:
+        """Hamiltonian value at one spin configuration (values ±1)."""
+        e = self.offset
+        for v, hv in self.h.items():
+            e += hv * spins[v]
+        for (u, v), j in self.J.items():
+            e += j * spins[u] * spins[v]
+        return e
+
+    def energies(self, spins: np.ndarray, order: Sequence[str] | None = None) -> np.ndarray:
+        """Vectorized energies over a ``(num_samples, num_spins)`` ±1 array."""
+        variables = tuple(order) if order is not None else self.variables
+        h_vec, J_mat = self.to_arrays(variables)
+        S = np.asarray(spins, dtype=float)
+        if S.ndim == 1:
+            S = S[None, :]
+        return S @ h_vec + np.einsum("si,ij,sj->s", S, J_mat, S) + self.offset
+
+    def to_arrays(self, order: Sequence[str] | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(h, J)`` with J strictly upper-triangular."""
+        variables = tuple(order) if order is not None else self.variables
+        index = {v: i for i, v in enumerate(variables)}
+        n = len(variables)
+        h_vec = np.zeros(n)
+        J_mat = np.zeros((n, n))
+        for v, hv in self.h.items():
+            h_vec[index[v]] += hv
+        for (u, v), j in self.J.items():
+            i, k = index[u], index[v]
+            if i > k:
+                i, k = k, i
+            J_mat[i, k] += j
+        return h_vec, J_mat
+
+    def max_abs_coefficient(self) -> float:
+        vals = [abs(a) for a in self.h.values()] + [abs(b) for b in self.J.values()]
+        return max(vals, default=0.0)
+
+
+def qubo_to_ising(qubo: QUBO) -> IsingModel:
+    """Convert a QUBO to an Ising model via ``x = (1 - s) / 2``.
+
+    The spin Hamiltonian has the same ordering of configuration energies
+    as the QUBO, so minimizing either solves the same problem.
+    """
+    h: dict[str, float] = {}
+    J: dict[tuple[str, str], float] = {}
+    offset = qubo.offset
+
+    for v, a in qubo.linear.items():
+        # a*x = a*(1-s)/2 = a/2 - (a/2) s
+        h[v] = h.get(v, 0.0) - a / 2.0
+        offset += a / 2.0
+    for (u, v), b in qubo.quadratic.items():
+        # b*x_u*x_v = b*(1-s_u)(1-s_v)/4 = b/4 - b/4 s_u - b/4 s_v + b/4 s_u s_v
+        key = (u, v) if u < v else (v, u)
+        J[key] = J.get(key, 0.0) + b / 4.0
+        h[u] = h.get(u, 0.0) - b / 4.0
+        h[v] = h.get(v, 0.0) - b / 4.0
+        offset += b / 4.0
+    return IsingModel(h=h, J=J, offset=offset)
+
+
+def ising_to_qubo(ising: IsingModel) -> QUBO:
+    """Inverse conversion via ``s = 1 - 2x``."""
+    out = QUBO(offset=ising.offset)
+    for v, hv in ising.h.items():
+        # h*s = h*(1-2x) = h - 2h x
+        out.add_linear(v, -2.0 * hv)
+        out.offset += hv
+    for (u, v), j in ising.J.items():
+        # J*s_u*s_v = J*(1-2x_u)(1-2x_v) = J - 2J x_u - 2J x_v + 4J x_u x_v
+        out.add_quadratic(u, v, 4.0 * j)
+        out.add_linear(u, -2.0 * j)
+        out.add_linear(v, -2.0 * j)
+        out.offset += j
+    return out
+
+
+def spins_to_bits(spins: np.ndarray) -> np.ndarray:
+    """Map ±1 spins to {0,1} bits under the ``x = (1-s)/2`` convention."""
+    return ((1 - np.asarray(spins)) // 2).astype(np.int8)
+
+
+def bits_to_spins(bits: np.ndarray) -> np.ndarray:
+    """Map {0,1} bits to ±1 spins (inverse of :func:`spins_to_bits`)."""
+    return (1 - 2 * np.asarray(bits)).astype(np.int8)

@@ -1,0 +1,108 @@
+"""Unit tests for the deterministic crossing-lines clique embedding."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealing import chimera_graph, pegasus_graph, random_disabled_qubits
+from repro.annealing.clique_embedding import clique_embedding
+from repro.annealing.embedding import Embedding, EmbeddingError
+
+
+def relabeled(g: nx.Graph) -> nx.Graph:
+    return nx.relabel_nodes(g, {u: f"n{u:03d}" for u in g.nodes})
+
+
+@pytest.fixture(scope="module")
+def pegasus6():
+    return pegasus_graph(6)
+
+
+@pytest.fixture(scope="module")
+def chimera8():
+    return chimera_graph(8)
+
+
+class TestCliqueEmbedding:
+    @pytest.mark.parametrize("n", [2, 5, 10, 20])
+    def test_complete_graphs_on_pegasus(self, pegasus6, n):
+        src = relabeled(nx.complete_graph(n))
+        emb = clique_embedding(src, pegasus6)
+        emb.validate(src, pegasus6)
+
+    @pytest.mark.parametrize("n", [2, 8, 16])
+    def test_complete_graphs_on_chimera(self, chimera8, n):
+        src = relabeled(nx.complete_graph(n))
+        emb = clique_embedding(src, chimera8)
+        emb.validate(src, chimera8)
+
+    def test_sparse_graph_prunes_small(self, pegasus6):
+        """Pruning should shrink chains well below the full cross."""
+        src = relabeled(nx.path_graph(6))
+        full = clique_embedding(src, pegasus6, prune=False)
+        pruned = clique_embedding(src, pegasus6, prune=True)
+        pruned.validate(src, pegasus6)
+        assert pruned.num_physical_qubits < full.num_physical_qubits
+
+    def test_empty_source(self, pegasus6):
+        assert clique_embedding(nx.Graph(), pegasus6).chains == {}
+
+    def test_too_many_variables(self):
+        target = chimera_graph(2)  # 8 wires max
+        src = relabeled(nx.complete_graph(30))
+        with pytest.raises(EmbeddingError):
+            clique_embedding(src, target)
+
+    def test_unsupported_topology(self):
+        target = nx.path_graph(50)
+        src = relabeled(nx.complete_graph(3))
+        with pytest.raises(EmbeddingError, match="pegasus/chimera"):
+            clique_embedding(src, target)
+
+    def test_survives_disabled_qubits(self, pegasus6):
+        rng = np.random.default_rng(0)
+        target = random_disabled_qubits(pegasus6, 0.02, rng)
+        src = relabeled(nx.complete_graph(8))
+        emb = clique_embedding(src, target)
+        emb.validate(src, target)
+
+    def test_k20_chimera_matches_native_scale(self):
+        """The native C16 clique embedding uses 6-qubit chains for K20."""
+        src = relabeled(nx.complete_graph(20))
+        emb = clique_embedding(src, chimera_graph(16))
+        emb.validate(src, chimera_graph(16))
+        assert emb.max_chain_length <= 8
+
+
+class TestDenseFallbackIntegration:
+    def test_find_embedding_uses_template_for_dense_graphs(self):
+        """find_embedding must handle the clique-cover interaction graphs
+        that defeat pure CMR routing (the paper's edge study)."""
+        from repro.annealing import find_embedding
+        from repro.problems import CliqueCover, edge_scaling_graph
+
+        inst = CliqueCover(edge_scaling_graph(18), 4)
+        program = inst.build_env().to_qubo()
+        src = nx.Graph()
+        src.add_nodes_from(program.qubo.variables)
+        src.add_edges_from(program.qubo.quadratic.keys())
+        target = pegasus_graph(16)
+        emb = find_embedding(src, target, np.random.default_rng(0))
+        emb.validate(src, target)
+
+    def test_more_edges_fewer_qubits(self):
+        """The paper's clique-cover anecdote, end to end."""
+        from repro.annealing import find_embedding
+        from repro.problems import CliqueCover, edge_scaling_graph
+
+        target = pegasus_graph(16)
+        usages = []
+        for edges in (18, 63):
+            inst = CliqueCover(edge_scaling_graph(edges), 4)
+            program = inst.build_env().to_qubo()
+            src = nx.Graph()
+            src.add_nodes_from(program.qubo.variables)
+            src.add_edges_from(program.qubo.quadratic.keys())
+            emb = find_embedding(src, target, np.random.default_rng(0))
+            usages.append(emb.num_physical_qubits)
+        assert usages[1] < usages[0]

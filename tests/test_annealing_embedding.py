@@ -1,0 +1,126 @@
+"""Unit tests for minor embedding."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealing import EmbeddingError, chimera_graph, find_embedding, pegasus_graph
+from repro.annealing.embedding import Embedding
+
+
+@pytest.fixture(scope="module")
+def pegasus4():
+    return pegasus_graph(4)
+
+
+class TestFindEmbedding:
+    def test_identity_like_embedding(self, pegasus4):
+        """A subgraph of the target embeds with short chains."""
+        g = nx.path_graph(5)
+        g = nx.relabel_nodes(g, {i: f"n{i}" for i in g.nodes})
+        emb = find_embedding(g, pegasus4, np.random.default_rng(0))
+        emb.validate(g, pegasus4)
+        assert emb.max_chain_length <= 2
+
+    def test_k4_embeds(self, pegasus4):
+        g = nx.relabel_nodes(nx.complete_graph(4), {i: f"n{i}" for i in range(4)})
+        emb = find_embedding(g, pegasus4, np.random.default_rng(0))
+        emb.validate(g, pegasus4)
+
+    def test_k8_needs_chains(self, pegasus4):
+        """K8 exceeds Pegasus degree for single qubits per variable."""
+        g = nx.relabel_nodes(nx.complete_graph(8), {i: f"n{i}" for i in range(8)})
+        emb = find_embedding(g, pegasus4, np.random.default_rng(1))
+        emb.validate(g, pegasus4)
+        assert emb.num_physical_qubits > 8
+
+    def test_triangle_chain_on_chimera(self):
+        """The vertex-scaling family embeds on Chimera too."""
+        from repro.problems import vertex_scaling_graph
+
+        g = vertex_scaling_graph(3)
+        g = nx.relabel_nodes(g, {i: f"v{i}" for i in g.nodes})
+        target = chimera_graph(4)
+        emb = find_embedding(g, target, np.random.default_rng(2))
+        emb.validate(g, target)
+
+    def test_empty_source(self, pegasus4):
+        emb = find_embedding(nx.Graph(), pegasus4)
+        assert emb.chains == {}
+
+    def test_too_many_variables(self):
+        target = chimera_graph(1, 1, 2)  # 4 qubits
+        g = nx.path_graph(10)
+        with pytest.raises(EmbeddingError):
+            find_embedding(g, target, np.random.default_rng(0))
+
+    def test_impossible_embedding_raises(self):
+        """K5 cannot embed in a 5-qubit path (not enough spare qubits)."""
+        target = nx.path_graph(5)
+        g = nx.complete_graph(5)
+        with pytest.raises(EmbeddingError):
+            find_embedding(g, target, np.random.default_rng(0), max_attempts=2)
+
+    def test_disconnected_source(self, pegasus4):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        g.add_edge("c", "d")
+        emb = find_embedding(g, pegasus4, np.random.default_rng(3))
+        emb.validate(g, pegasus4)
+
+
+class TestEmbeddingProperties:
+    def test_counts(self):
+        emb = Embedding(chains={"a": (0, 1), "b": (2,)})
+        assert emb.num_physical_qubits == 3
+        assert emb.max_chain_length == 2
+        assert emb.mean_chain_length == 1.5
+
+    def test_empty(self):
+        emb = Embedding(chains={})
+        assert emb.num_physical_qubits == 0
+        assert emb.max_chain_length == 0
+        assert emb.mean_chain_length == 0.0
+
+
+class TestValidate:
+    def test_detects_overlap(self):
+        target = nx.path_graph(4)
+        source = nx.Graph([("a", "b")])
+        emb = Embedding(chains={"a": (0, 1), "b": (1, 2)})
+        with pytest.raises(EmbeddingError, match="overlap"):
+            emb.validate(source, target)
+
+    def test_detects_disconnected_chain(self):
+        target = nx.path_graph(5)
+        source = nx.Graph([("a", "b")])
+        emb = Embedding(chains={"a": (0, 2), "b": (1,)})
+        with pytest.raises(EmbeddingError, match="disconnected"):
+            emb.validate(source, target)
+
+    def test_detects_missing_coupler(self):
+        target = nx.path_graph(5)
+        source = nx.Graph([("a", "b")])
+        emb = Embedding(chains={"a": (0,), "b": (4,)})
+        with pytest.raises(EmbeddingError, match="coupler"):
+            emb.validate(source, target)
+
+    def test_detects_empty_chain(self):
+        target = nx.path_graph(3)
+        source = nx.Graph()
+        source.add_node("a")
+        emb = Embedding(chains={"a": ()})
+        with pytest.raises(EmbeddingError, match="empty"):
+            emb.validate(source, target)
+
+
+class TestConnectivityDrivesQubitUse:
+    def test_denser_problems_use_more_physical_qubits(self, pegasus4):
+        """Section VIII-A: 'the more densely connected the problem, the
+        more qubits are required to represent each variable.'"""
+        rng = np.random.default_rng(4)
+        sparse = nx.relabel_nodes(nx.cycle_graph(10), {i: f"n{i}" for i in range(10)})
+        dense = nx.relabel_nodes(nx.complete_graph(10), {i: f"n{i}" for i in range(10)})
+        emb_sparse = find_embedding(sparse, pegasus4, rng)
+        emb_dense = find_embedding(dense, pegasus4, rng)
+        assert emb_dense.num_physical_qubits > emb_sparse.num_physical_qubits

@@ -1,0 +1,113 @@
+"""Unit tests for the simulated-annealing sampler."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    AnnealSchedule,
+    ExactIsingSolver,
+    SimulatedAnnealingSampler,
+)
+from repro.qubo import IsingModel, QUBO, qubo_to_ising
+
+
+class TestSchedule:
+    def test_geometric_ramp(self):
+        s = AnnealSchedule(beta_min=0.1, beta_max=10.0, num_sweeps=5)
+        betas = s.betas()
+        assert betas[0] == pytest.approx(0.1)
+        assert betas[-1] == pytest.approx(10.0)
+        ratios = betas[1:] / betas[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnealSchedule(num_sweeps=0).betas()
+        with pytest.raises(ValueError):
+            AnnealSchedule(beta_min=2.0, beta_max=1.0).betas()
+        with pytest.raises(ValueError):
+            AnnealSchedule(beta_min=0.0).betas()
+
+
+class TestSampler:
+    def test_finds_ferromagnetic_ground_state(self):
+        """A strongly coupled chain should align all spins."""
+        model = IsingModel(J={(f"s{i}", f"s{i+1}"): -1.0 for i in range(5)})
+        result = SimulatedAnnealingSampler().sample(
+            model, num_reads=20, rng=np.random.default_rng(0)
+        )
+        best = result.spins[result.energies.argmin()]
+        assert abs(best.sum()) == 6  # all aligned
+        assert result.energies.min() == pytest.approx(-5.0)
+
+    def test_field_biases_spins(self):
+        model = IsingModel(h={"a": -2.0})  # favors s = +1... h·s minimized at s=-sign(h)
+        result = SimulatedAnnealingSampler().sample(
+            model, num_reads=10, rng=np.random.default_rng(1)
+        )
+        assert result.energies.min() == pytest.approx(-2.0)
+
+    def test_matches_exact_solver_on_random_models(self):
+        rng = np.random.default_rng(2)
+        for trial in range(3):
+            q = QUBO(
+                {f"v{i}": float(rng.normal()) for i in range(8)},
+                {
+                    (f"v{i}", f"v{j}"): float(rng.normal())
+                    for i in range(8)
+                    for j in range(i + 1, 8)
+                    if rng.random() < 0.4
+                },
+            )
+            model = qubo_to_ising(q)
+            exact_e, _ = ExactIsingSolver().solve(model)
+            result = SimulatedAnnealingSampler().sample(
+                model, num_reads=50, rng=np.random.default_rng(trial)
+            )
+            assert result.energies.min() == pytest.approx(exact_e, abs=1e-6)
+
+    def test_deterministic_with_seed(self):
+        model = IsingModel(h={"a": 1.0, "b": -1.0}, J={("a", "b"): 0.5})
+        r1 = SimulatedAnnealingSampler().sample(model, 5, np.random.default_rng(7))
+        r2 = SimulatedAnnealingSampler().sample(model, 5, np.random.default_rng(7))
+        assert np.array_equal(r1.spins, r2.spins)
+
+    def test_spin_values(self):
+        model = IsingModel(h={"a": 0.1, "b": 0.1})
+        result = SimulatedAnnealingSampler().sample(model, 8, np.random.default_rng(3))
+        assert set(np.unique(result.spins)) <= {-1, 1}
+
+    def test_variable_order_respected(self):
+        model = IsingModel(h={"a": 5.0, "b": -5.0})
+        result = SimulatedAnnealingSampler().sample(
+            model, 10, np.random.default_rng(4), variables=("b", "a")
+        )
+        assert result.variables == ("b", "a")
+        best = result.spins[result.energies.argmin()]
+        assert best[0] == 1 and best[1] == -1  # b favors +1? no: h_b=-5 ⇒ s_b=+1
+
+    def test_empty_model(self):
+        result = SimulatedAnnealingSampler().sample(IsingModel(offset=2.0), 3)
+        assert result.spins.shape == (3, 0)
+        assert np.allclose(result.energies, 2.0)
+
+    def test_energies_consistent(self):
+        model = IsingModel(h={"a": 1.0}, J={("a", "b"): -1.0})
+        result = SimulatedAnnealingSampler().sample(model, 6, np.random.default_rng(5))
+        recomputed = model.energies(result.spins.astype(float), result.variables)
+        assert np.allclose(result.energies, recomputed)
+
+
+class TestExactIsingSolver:
+    def test_simple(self):
+        model = IsingModel(h={"a": 1.0})
+        e, s = ExactIsingSolver().solve(model)
+        assert e == -1.0 and s == {"a": -1}
+
+    def test_too_large(self):
+        model = IsingModel(h={f"s{i}": 1.0 for i in range(30)})
+        with pytest.raises(ValueError):
+            ExactIsingSolver().solve(model)
+
+    def test_empty(self):
+        assert ExactIsingSolver().solve(IsingModel(offset=1.0)) == (1.0, {})

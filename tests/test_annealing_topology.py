@@ -1,0 +1,79 @@
+"""Unit tests for annealer topologies."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealing import chimera_graph, pegasus_graph, random_disabled_qubits
+
+
+class TestChimera:
+    def test_2000q_dimensions(self):
+        """C16 is the D-Wave 2000Q working graph: 2048 qubits, 6016 couplers."""
+        g = chimera_graph(16, 16, 4)
+        assert g.number_of_nodes() == 2048
+        assert g.number_of_edges() == 6016
+
+    def test_degree_bound(self):
+        g = chimera_graph(4)
+        assert max(dict(g.degree).values()) <= 6
+
+    def test_unit_cell_is_k44(self):
+        g = chimera_graph(1, 1, 4)
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == 16
+        assert nx.is_bipartite(g)
+
+    def test_connected(self):
+        assert nx.is_connected(chimera_graph(3, 5, 4))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            chimera_graph(0)
+
+
+class TestPegasus:
+    def test_p16_scale(self):
+        """P16 ≈ the Advantage working graph (paper: nearly 5760 qubits)."""
+        g = pegasus_graph(16)
+        assert 5500 <= g.number_of_nodes() <= 5760
+        assert g.number_of_edges() > 39000
+
+    def test_degree_15(self):
+        """Pegasus reaches degree 15 (vs Chimera's 6)."""
+        g = pegasus_graph(6)
+        assert max(dict(g.degree).values()) == 15
+
+    def test_connected(self):
+        assert nx.is_connected(pegasus_graph(4))
+
+    def test_denser_than_chimera(self):
+        """Pegasus' richer connectivity is why Advantage chains are shorter."""
+        p = pegasus_graph(4)
+        c = chimera_graph(4)
+        assert p.number_of_edges() / p.number_of_nodes() > (
+            c.number_of_edges() / c.number_of_nodes()
+        )
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            pegasus_graph(1)
+
+
+class TestDisabledQubits:
+    def test_fraction_removed(self):
+        g = pegasus_graph(4)
+        rng = np.random.default_rng(0)
+        trimmed = random_disabled_qubits(g, 0.05, rng)
+        expected = g.number_of_nodes() - round(0.05 * g.number_of_nodes())
+        assert trimmed.number_of_nodes() == expected
+
+    def test_zero_fraction_is_copy(self):
+        g = chimera_graph(2)
+        trimmed = random_disabled_qubits(g, 0.0, np.random.default_rng(0))
+        assert trimmed.number_of_nodes() == g.number_of_nodes()
+        assert trimmed is not g
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            random_disabled_qubits(chimera_graph(2), 1.0, np.random.default_rng(0))

@@ -1,0 +1,158 @@
+"""Unit tests for the circuit-model device backend and its noise model."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitDevice,
+    CircuitDeviceProfile,
+    CircuitNoiseModel,
+    CircuitTimingModel,
+    NoiselessCircuitModel,
+)
+from repro.classical import ExactNckSolver
+from repro.core import Env, SolutionQuality
+
+
+def mvc_env() -> Env:
+    env = Env()
+    for e in [("a", "b"), ("a", "c"), ("b", "c"), ("c", "d"), ("d", "e")]:
+        env.nck(list(e), [1, 2])
+    for v in "abcde":
+        env.prefer_false(v)
+    return env
+
+
+@pytest.fixture(scope="module")
+def noiseless_device():
+    return CircuitDevice(CircuitDeviceProfile.brooklyn(noiseless=True))
+
+
+class TestNoiseModel:
+    def test_fidelity_decreases_with_gates(self):
+        noise = CircuitNoiseModel()
+        short = Circuit(2)
+        short.add("cx", (0, 1))
+        long = Circuit(2)
+        for _ in range(20):
+            long.add("cx", (0, 1))
+        assert noise.circuit_fidelity(long) < noise.circuit_fidelity(short)
+
+    def test_two_qubit_gates_dominate(self):
+        noise = CircuitNoiseModel(heterogeneity=0.0)
+        one_q = Circuit(1)
+        one_q.add("x", 0)
+        two_q = Circuit(2)
+        two_q.add("cx", (0, 1))
+        assert noise.circuit_fidelity(two_q) < noise.circuit_fidelity(one_q)
+
+    def test_heterogeneity_sorted_good_first(self):
+        """Low-index qubits are the good ones (small problems get them)."""
+        noise = CircuitNoiseModel()
+        assert noise.qubit_quality[0] <= noise.qubit_quality[-1]
+
+    def test_apply_to_counts_preserves_shots(self):
+        noise = CircuitNoiseModel()
+        circ = Circuit(3)
+        for _ in range(5):
+            circ.add("cx", (0, 1))
+        counts = {0: 500, 7: 500}
+        out = noise.apply_to_counts(counts, 3, circ, np.random.default_rng(0))
+        assert sum(out.values()) == 1000
+
+    def test_noiseless_identity(self):
+        model = NoiselessCircuitModel()
+        circ = Circuit(2)
+        circ.add("cx", (0, 1))
+        assert model.circuit_fidelity(circ) == 1.0
+        counts = {1: 10}
+        assert model.apply_to_counts(counts, 2, circ, None) == counts
+
+
+class TestTimingModel:
+    def test_job_time_in_paper_range(self):
+        """Jobs took between 7 and 23 seconds (Section VIII-C)."""
+        t = CircuitTimingModel()
+        rng = np.random.default_rng(0)
+        times = [t.sample_job_time(rng) for _ in range(200)]
+        assert min(times) >= 7.0
+        assert max(times) <= 23.0
+
+    def test_total_about_500s(self):
+        """'All together, our jobs spent roughly 500 seconds.'"""
+        t = CircuitTimingModel()
+        total = t.total_time(30, np.random.default_rng(1))
+        assert 300 <= total["total"] <= 700
+
+    def test_breakdown_fields(self):
+        total = CircuitTimingModel().total_time(25, np.random.default_rng(2))
+        assert set(total) == {
+            "num_jobs",
+            "quantum_execution",
+            "server_overhead",
+            "classical_optimization",
+            "total",
+        }
+
+
+class TestDevice:
+    def test_solves_mvc_optimally(self, noiseless_device):
+        env = mvc_env()
+        truth = ExactNckSolver().max_soft_satisfiable(env)
+        ss = noiseless_device.sample(env, rng=np.random.default_rng(0))
+        assert ss.best.quality(truth) is SolutionQuality.OPTIMAL
+        assert ss.metadata["execution_model"] == "exact"
+
+    def test_single_result_semantics(self, noiseless_device):
+        """QAOA 'returns a single result' (Section VIII-B)."""
+        ss = noiseless_device.sample(mvc_env(), rng=np.random.default_rng(1))
+        assert len(ss) == 1
+
+    def test_metadata_fields(self, noiseless_device):
+        ss = noiseless_device.sample(mvc_env(), rng=np.random.default_rng(2))
+        for key in ("qubits_used", "depth", "num_swaps", "fidelity", "logical_qubits"):
+            assert key in ss.metadata
+        assert ss.metadata["depth"] > 0
+
+    def test_too_many_variables_rejected(self, noiseless_device):
+        env = Env()
+        env.nck([f"v{i}" for i in range(70)], [1])
+        with pytest.raises(ValueError, match="65"):
+            noiseless_device.sample(env)
+
+    def test_structural_mode_above_limit(self):
+        device = CircuitDevice(CircuitDeviceProfile.brooklyn(noiseless=True))
+        device.profile.exact_simulation_limit = 4
+        env = mvc_env()  # 5 variables > limit
+        ss = device.sample(env, rng=np.random.default_rng(3))
+        assert ss.metadata["execution_model"] == "structural"
+        # Noiseless structural mode still finds the optimum on 5 vars.
+        truth = ExactNckSolver().max_soft_satisfiable(env)
+        assert ss.best.quality(truth) is SolutionQuality.OPTIMAL
+
+    def test_ancillas_stripped(self, noiseless_device):
+        env = Env()
+        env.nck(["a", "b", "c"], [0, 2])
+        ss = noiseless_device.sample(env, rng=np.random.default_rng(4))
+        assert set(ss.best.assignment) == {"a", "b", "c"}
+
+    def test_timing_attached(self, noiseless_device):
+        ss = noiseless_device.sample(mvc_env(), rng=np.random.default_rng(5))
+        assert ss.timing["total"] > 0
+        assert 25 <= ss.timing["num_jobs"] <= 35
+
+
+class TestEmptyAndEdgePaths:
+    def test_empty_program(self, noiseless_device):
+        env = Env()  # no constraints at all
+        ss = noiseless_device.sample(env, rng=np.random.default_rng(6))
+        assert len(ss) == 1
+
+    def test_solve_matches_sample_best(self, noiseless_device):
+        env = mvc_env()
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        sol = noiseless_device.solve(env, rng=rng_a)
+        ss = noiseless_device.sample(env, rng=rng_b)
+        assert sol.assignment == ss.best.assignment

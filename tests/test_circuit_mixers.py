@@ -1,0 +1,108 @@
+"""Unit tests for QAOA mixers (the paper's Section IX future work)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    QAOA,
+    StatevectorSimulator,
+    TransverseFieldMixer,
+    XYRingMixer,
+    get_mixer,
+    qaoa_circuit,
+)
+from repro.qubo import IsingModel, QUBO, qubo_to_ising
+
+
+def hamming_weights(n: int) -> np.ndarray:
+    """Hamming weight of every basis index for n qubits."""
+    return np.array([bin(i).count("1") for i in range(2**n)])
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_mixer("transverse-field"), TransverseFieldMixer)
+        assert isinstance(get_mixer("xy-ring", hamming_weight=2), XYRingMixer)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_mixer("warp-drive")
+
+
+class TestTransverseField:
+    def test_initial_state_uniform(self):
+        circ = TransverseFieldMixer().initial_state_circuit(3)
+        probs = StatevectorSimulator().probabilities(circ)
+        assert np.allclose(probs, 1.0 / 8.0)
+
+    def test_layer_is_rx_per_qubit(self):
+        circ = Circuit(4)
+        TransverseFieldMixer().append_layer(circ, 0.3)
+        assert circ.gate_counts() == {"rx": 4}
+
+
+class TestXYRing:
+    def test_initial_state_has_requested_weight(self):
+        circ = XYRingMixer(hamming_weight=2).initial_state_circuit(4)
+        probs = StatevectorSimulator().probabilities(circ)
+        state = int(probs.argmax())
+        assert probs[state] == pytest.approx(1.0)
+        assert bin(state).count("1") == 2
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            XYRingMixer(hamming_weight=5).initial_state_circuit(3)
+
+    @pytest.mark.parametrize("n,k", [(3, 1), (4, 1), (4, 2), (5, 2)])
+    def test_preserves_hamming_weight(self, n, k):
+        """The defining property: evolution stays in the Σx = k subspace."""
+        mixer = XYRingMixer(hamming_weight=k)
+        circ = mixer.initial_state_circuit(n)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            mixer.append_layer(circ, float(rng.uniform(0.1, 1.0)))
+        probs = StatevectorSimulator().probabilities(circ)
+        weights = hamming_weights(n)
+        assert probs[weights != k].sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_actually_mixes(self):
+        """Probability must spread beyond the initial basis state."""
+        mixer = XYRingMixer(hamming_weight=1)
+        circ = mixer.initial_state_circuit(4)
+        mixer.append_layer(circ, 0.7)
+        probs = StatevectorSimulator().probabilities(circ)
+        assert (probs > 1e-6).sum() > 1
+
+    def test_phase_separator_commutes_with_subspace(self):
+        """Full QAOA layers with the XY mixer keep the one-hot subspace."""
+        model = IsingModel(
+            h={"a": 0.5, "b": -0.3, "c": 0.1},
+            J={("a", "b"): 0.2, ("b", "c"): -0.4},
+        )
+        circ = qaoa_circuit(
+            model,
+            np.array([0.4, 0.8]),
+            np.array([0.3, 0.6]),
+            mixer=XYRingMixer(hamming_weight=1),
+        )
+        probs = StatevectorSimulator().probabilities(circ)
+        weights = hamming_weights(3)
+        assert probs[weights != 1].sum() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestConstraintPreservingQAOA:
+    def test_one_hot_problem_never_violates(self):
+        """A one-hot ('choose 1 of 4') objective with the XY mixer: every
+        sampled state satisfies the hard constraint structurally —
+        Section IX's motivation for custom mixers."""
+        # Objective: prefer variable "c" among one-hot a,b,c,d.
+        q = QUBO({"a": 3.0, "b": 2.0, "c": 1.0, "d": 2.5})
+        model = qubo_to_ising(q)
+        qaoa = QAOA(layers=2, maxiter=40, mixer=XYRingMixer(hamming_weight=1))
+        result = qaoa.optimize(model, rng=np.random.default_rng(1))
+        weights = hamming_weights(4)
+        for state in result.counts:
+            assert weights[state] == 1
+        # And the best one-hot state is the cheapest variable.
+        assert result.best_bits.tolist() == [0, 0, 1, 0]

@@ -1,0 +1,113 @@
+"""Unit tests for the exact classical NchooseK solver (Z3 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.classical import ExactNckSolver
+from repro.core import Env, UnsatisfiableError
+from repro.qubo import enumerate_assignments
+
+
+def brute_force(env: Env) -> tuple[bool, int]:
+    """(hard-satisfiable?, max soft satisfied) by exhaustive search."""
+    variables = [v.name for v in env.variables]
+    best = -1
+    for row in enumerate_assignments(len(variables)):
+        assignment = dict(zip(variables, map(bool, row)))
+        hard, soft = env.satisfied_counts(assignment)
+        if hard == len(env.hard_constraints):
+            best = max(best, soft)
+    return best >= 0, max(best, 0)
+
+
+def random_env(rng: np.random.Generator, num_vars=6, num_constraints=8) -> Env:
+    env = Env()
+    names = [f"v{i}" for i in range(num_vars)]
+    for _ in range(num_constraints):
+        size = int(rng.integers(1, 4))
+        coll = [names[i] for i in rng.choice(num_vars, size=size, replace=False)]
+        sel_size = int(rng.integers(1, size + 2))
+        sel = sorted(set(int(k) for k in rng.integers(0, size + 1, size=sel_size)))
+        env.nck(coll, sel, soft=bool(rng.random() < 0.5))
+    return env
+
+
+class TestCorrectness:
+    def test_agrees_with_brute_force_on_random_programs(self):
+        rng = np.random.default_rng(42)
+        solver = ExactNckSolver()
+        checked = 0
+        for _ in range(40):
+            env = random_env(rng)
+            expected_sat, expected_soft = brute_force(env)
+            if not expected_sat:
+                with pytest.raises(UnsatisfiableError):
+                    solver.solve(env)
+            else:
+                solution = solver.solve(env)
+                assert solution.hard_satisfied == len(env.hard_constraints)
+                assert solution.soft_satisfied == expected_soft
+                checked += 1
+        assert checked > 10  # most random programs should be satisfiable
+
+    def test_max_soft_satisfiable(self):
+        env = Env()
+        env.nck(["a", "b"], [1, 2])
+        env.prefer_false("a")
+        env.prefer_false("b")
+        assert ExactNckSolver().max_soft_satisfiable(env) == 1
+
+    def test_hard_only_satisfiable(self):
+        env = Env()
+        env.nck(["a", "b", "c"], [2])
+        solution = ExactNckSolver().solve(env)
+        assert sum(solution.assignment.values()) == 2
+
+    def test_unsat_raises(self):
+        env = Env()
+        env.nck(["a", "b"], [1])
+        env.nck(["a", "b"], [0, 2])
+        with pytest.raises(UnsatisfiableError):
+            ExactNckSolver().solve(env)
+
+    def test_repeated_variable_constraints(self):
+        env = Env()
+        env.nck(["x", "y", "z", "z", "z"], [0, 1, 2, 4, 5])
+        env.nck(["x"], [0])
+        env.nck(["y"], [0])
+        # Clause (x ∨ y ∨ ¬z) with x=y=0 forces z=0.
+        solution = ExactNckSolver().solve(env)
+        assert solution.assignment["z"] is False
+
+
+class TestBehaviour:
+    def test_empty_env(self):
+        solution = ExactNckSolver().solve(Env())
+        assert solution.assignment == {}
+
+    def test_node_limit(self):
+        env = Env()
+        # All-soft conflicting constraints: forces full exploration.
+        names = [f"v{i}" for i in range(12)]
+        for i in range(len(names) - 1):
+            env.nck([names[i], names[i + 1]], [1], soft=True)
+        solver = ExactNckSolver(node_limit=3)
+        with pytest.raises(RuntimeError):
+            solver.solve(env)
+
+    def test_sample_wraps_solution(self):
+        env = Env()
+        env.nck(["a"], [1])
+        ss = ExactNckSolver().sample(env)
+        assert len(ss) == 1
+        assert ss.best.assignment == {"a": True}
+
+    def test_vertex_cover_optimum(self):
+        """Paper Figure 2: the minimum cover has size 3."""
+        env = Env()
+        for e in [("a", "b"), ("a", "c"), ("b", "c"), ("c", "d"), ("d", "e")]:
+            env.nck(list(e), [1, 2])
+        for v in "abcde":
+            env.prefer_false(v)
+        solution = ExactNckSolver().solve(env)
+        assert sum(solution.assignment.values()) == 3

@@ -1,0 +1,85 @@
+"""Unit tests for the symmetric-constraint QUBO cache."""
+
+import itertools
+
+import pytest
+
+from repro.compile import QUBOCache
+from repro.compile.synthesize import SynthesisResult, verify_constraint_qubo
+from repro.core import nck
+
+
+def namer():
+    counter = itertools.count()
+    return lambda: f"_n{next(counter)}"
+
+
+class TestCaching:
+    def test_hit_on_symmetric_constraint(self):
+        cache = QUBOCache()
+        n = namer()
+        cache.synthesize(nck(["a", "b"], [1, 2]), n)
+        cache.synthesize(nck(["c", "d"], [1, 2]), n)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_miss_on_different_selection(self):
+        cache = QUBOCache()
+        n = namer()
+        cache.synthesize(nck(["a", "b"], [1, 2]), n)
+        cache.synthesize(nck(["a", "b"], [1]), n)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_miss_on_different_multiplicity_profile(self):
+        """Def. 7-symmetric but different truth tables must not share."""
+        cache = QUBOCache()
+        n = namer()
+        cache.synthesize(nck(["a", "a", "b"], [2]), n)
+        cache.synthesize(nck(["c", "d", "e"], [2]), n)
+        assert cache.hits == 0
+
+    def test_disabled_cache_never_hits(self):
+        cache = QUBOCache(enabled=False)
+        n = namer()
+        cache.synthesize(nck(["a", "b"], [1, 2]), n)
+        cache.synthesize(nck(["c", "d"], [1, 2]), n)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+
+class TestRelabelingCorrectness:
+    def test_cached_result_valid_for_new_variables(self):
+        cache = QUBOCache()
+        n = namer()
+        cache.synthesize(nck(["a", "b", "c"], [0, 2]), n)
+        c2 = nck(["p", "q", "r"], [0, 2])
+        result = cache.synthesize(c2, n)
+        assert cache.hits == 1
+        assert verify_constraint_qubo(c2, result)
+
+    def test_cached_result_with_multiplicities(self):
+        cache = QUBOCache()
+        n = namer()
+        c1 = nck(["a", "a", "b"], [2])
+        r1 = cache.synthesize(c1, n)
+        assert verify_constraint_qubo(c1, r1)
+        c2 = nck(["y", "x", "x"], [2])  # x has multiplicity 2 like a
+        r2 = cache.synthesize(c2, n)
+        assert cache.hits == 1
+        assert verify_constraint_qubo(c2, r2)
+
+    def test_fresh_ancillas_per_use(self):
+        cache = QUBOCache()
+        n = namer()
+        r1 = cache.synthesize(nck(["a", "b", "c"], [0, 2]), n)
+        r2 = cache.synthesize(nck(["d", "e", "f"], [0, 2]), n)
+        assert r1.ancillas and r2.ancillas
+        assert set(r1.ancillas).isdisjoint(r2.ancillas)
+
+    def test_variables_in_relabeled_qubo(self):
+        cache = QUBOCache()
+        n = namer()
+        result = cache.synthesize(nck(["p", "q"], [1]), n)
+        assert set(result.qubo.variables) <= {"p", "q"} | set(result.ancillas)

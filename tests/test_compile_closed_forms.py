@@ -1,0 +1,98 @@
+"""Unit tests for closed-form constraint QUBOs."""
+
+import itertools
+
+import pytest
+
+from repro.compile import closed_form_qubo
+from repro.compile.synthesize import GAP, SynthesisResult, verify_constraint_qubo
+from repro.core import nck
+from repro.qubo import QUBO
+
+
+def namer():
+    counter = itertools.count()
+    return lambda: f"_y{next(counter)}"
+
+
+def check_spec(constraint, qubo, ancillas=()):
+    """Closed forms obey the same spec as synthesized QUBOs."""
+    result = SynthesisResult(qubo=qubo, ancillas=tuple(ancillas), used_closed_form=True)
+    assert verify_constraint_qubo(constraint, result)
+
+
+class TestTrivial:
+    def test_trivial_constraint_is_zero_qubo(self):
+        q, anc = closed_form_qubo(nck(["a", "b"], [0, 1, 2]))
+        assert q == QUBO()
+        assert anc == ()
+
+
+class TestExactlyK:
+    @pytest.mark.parametrize("n,k", [(1, 0), (1, 1), (3, 1), (4, 2), (5, 5), (6, 0)])
+    def test_spec(self, n, k):
+        c = nck([f"v{i}" for i in range(n)], [k])
+        q, anc = closed_form_qubo(c)
+        assert anc == ()
+        check_spec(c, q)
+
+    def test_one_hot_term_count(self):
+        """Selection {1} over n: n linear + C(n,2) quadratic terms."""
+        q, _ = closed_form_qubo(nck([f"v{i}" for i in range(6)], [1]))
+        assert len(q.linear) == 6
+        assert len(q.quadratic) == 15
+
+
+class TestAdjacentPair:
+    @pytest.mark.parametrize("n,k", [(2, 0), (2, 1), (3, 1), (5, 3)])
+    def test_spec(self, n, k):
+        c = nck([f"v{i}" for i in range(n)], [k, k + 1])
+        q, anc = closed_form_qubo(c)
+        assert anc == ()
+        check_spec(c, q)
+
+    def test_vertex_cover_edge_matches_paper(self):
+        """nck({a,b},{1,2}) → ab − a − b (+1): the paper's Section V QUBO."""
+        q, _ = closed_form_qubo(nck(["a", "b"], [1, 2]))
+        assert q.quadratic == {("a", "b"): 1.0}
+        assert q.linear == {"a": -1.0, "b": -1.0}
+        assert q.offset == 1.0  # normalization: valid states at 0
+
+    def test_map_color_edge(self):
+        """nck({u,v},{0,1}) → u·v."""
+        q, _ = closed_form_qubo(nck(["u", "v"], [0, 1]))
+        assert q.linear == {}
+        assert q.quadratic == {("u", "v"): 1.0}
+
+
+class TestIntervalSlack:
+    @pytest.mark.parametrize(
+        "n,lo,hi",
+        [(3, 1, 3), (5, 1, 5), (5, 0, 3), (6, 2, 5), (12, 1, 12), (9, 3, 7)],
+    )
+    def test_spec(self, n, lo, hi):
+        c = nck([f"v{i}" for i in range(n)], range(lo, hi + 1))
+        q, anc = closed_form_qubo(c, namer())
+        assert len(anc) >= 1
+        check_spec(c, q, anc)
+
+    def test_ancilla_count_logarithmic(self):
+        c = nck([f"v{i}" for i in range(16)], range(1, 17))  # span 15
+        _, anc = closed_form_qubo(c, namer())
+        assert len(anc) == 4  # 1+2+4+8 = 15
+
+    def test_requires_namer(self):
+        c = nck([f"v{i}" for i in range(4)], [1, 2, 3, 4])
+        assert closed_form_qubo(c, None) is None
+
+
+class TestFallthrough:
+    def test_repeated_variables_fall_through(self):
+        assert closed_form_qubo(nck(["a", "a", "b"], [2]), namer()) is None
+
+    def test_xor_falls_through(self):
+        """{0,2} over 3 vars needs an ancilla found by synthesis."""
+        assert closed_form_qubo(nck(["a", "b", "c"], [0, 2]), namer()) is None
+
+    def test_noncontiguous_falls_through(self):
+        assert closed_form_qubo(nck(list("abcd"), [0, 2, 4]), namer()) is None

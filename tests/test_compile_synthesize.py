@@ -1,0 +1,174 @@
+"""Unit tests for LP/MILP QUBO coefficient synthesis (the Z3 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    GAP,
+    synthesize_constraint_qubo,
+    verify_constraint_qubo,
+)
+from repro.core import ConstraintConversionError, nck
+
+
+class TestBasicShapes:
+    @pytest.mark.parametrize(
+        "collection,selection",
+        [
+            (["a", "b"], [1, 2]),  # vertex-cover edge
+            (["a", "b"], [0, 2]),  # equality
+            (["a", "b"], [1]),  # inequality
+            (["a", "b", "c"], [1]),  # one-hot
+            (["a", "b", "c"], [1, 2, 3]),  # 3-SAT clause
+            (["a", "b", "c"], [0, 2]),  # XOR (paper Eq. 3 shape)
+            (["a", "b", "c"], [1, 3]),  # paper §VI-B ancilla example
+            (["a", "b", "c", "d"], [2]),  # exactly-2
+            (["a", "b", "c", "d"], [0, 3]),
+            (["a", "b", "c", "d", "e"], [0, 1, 4, 5]),
+        ],
+    )
+    def test_synthesis_meets_spec(self, collection, selection):
+        c = nck(collection, selection)
+        result = synthesize_constraint_qubo(c)
+        assert verify_constraint_qubo(c, result)
+
+    def test_unsatisfiable_raises(self):
+        with pytest.raises(ConstraintConversionError):
+            synthesize_constraint_qubo(nck(["a", "a"], [1]))
+
+    def test_xor_needs_exactly_one_ancilla(self):
+        """The paper's Eq. 3: XOR cannot be a 3-variable QUBO."""
+        result = synthesize_constraint_qubo(nck(["a", "b", "c"], [0, 2]))
+        assert len(result.ancillas) == 1
+
+    def test_one_three_needs_ancilla(self):
+        """nck({a,b,c},{1,3}) 'requires a fourth, ancillary variable'."""
+        result = synthesize_constraint_qubo(nck(["a", "b", "c"], [1, 3]))
+        assert len(result.ancillas) >= 1
+
+
+class TestRepeatedVariables:
+    @pytest.mark.parametrize(
+        "collection,selection",
+        [
+            (["x", "y", "z", "z", "z"], [0, 1, 2, 4, 5]),  # SAT negation
+            (["a", "a", "b"], [2]),
+            (["a", "a", "b", "b"], [0, 4]),
+            (["a", "b", "c", "c"], [0, 1, 4]),  # AND block
+            (["a", "b", "c", "c"], [0, 3, 4]),  # OR block
+        ],
+    )
+    def test_spec(self, collection, selection):
+        c = nck(collection, selection)
+        result = synthesize_constraint_qubo(c)
+        assert verify_constraint_qubo(c, result)
+
+
+class TestLargeSymmetric:
+    def test_large_one_hot_compiles_fast(self):
+        c = nck([f"v{i}" for i in range(30)], [1])
+        result = synthesize_constraint_qubo(c)
+        assert verify_constraint_qubo(c, result)
+        assert result.ancillas == ()
+
+    def test_large_interval(self):
+        """Min-set-cover element constraints at cardinality 20."""
+        c = nck([f"v{i}" for i in range(20)], range(1, 21))
+        result = synthesize_constraint_qubo(c)
+        assert verify_constraint_qubo(c, result)
+
+    def test_large_noncontiguous_symmetric(self):
+        c = nck([f"v{i}" for i in range(6)], [0, 2, 4, 6])
+        result = synthesize_constraint_qubo(c)
+        assert verify_constraint_qubo(c, result)
+
+
+class TestNormalization:
+    def test_valid_states_at_zero(self):
+        """Synthesized QUBOs put satisfying assignments at energy 0."""
+        c = nck(["a", "b"], [1])
+        q = synthesize_constraint_qubo(c).qubo
+        assert q.energy({"a": 1, "b": 0}) == pytest.approx(0.0)
+        assert q.energy({"a": 0, "b": 1}) == pytest.approx(0.0)
+        assert q.energy({"a": 0, "b": 0}) >= GAP - 1e-9
+        assert q.energy({"a": 1, "b": 1}) >= GAP - 1e-9
+
+    def test_ancilla_namer_used(self):
+        names = iter(["custom0", "custom1", "custom2"])
+        result = synthesize_constraint_qubo(
+            nck(["a", "b", "c"], [0, 2]),
+            ancilla_namer=lambda: next(names),
+            allow_closed_form=False,
+        )
+        assert all(a.startswith("custom") for a in result.ancillas)
+
+
+class TestRandomizedSpec:
+    """Randomized sweep: every satisfiable selection set over ≤ 4 distinct
+    variables must synthesize to a spec-conforming QUBO."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_all_selection_sets(self, n):
+        rng = np.random.default_rng(n)
+        names = [f"v{i}" for i in range(n)]
+        # Sample 12 random nonempty selection sets per n.
+        for _ in range(12):
+            size = int(rng.integers(1, n + 2))
+            selection = sorted(
+                set(int(v) for v in rng.integers(0, n + 1, size=size))
+            )
+            c = nck(names, selection)
+            if c.is_unsatisfiable():
+                continue
+            result = synthesize_constraint_qubo(c)
+            assert verify_constraint_qubo(c, result), (selection, result.qubo)
+
+
+class TestExactPenalty:
+    """Soft constraints demand min-over-ancilla == GAP on invalid rows."""
+
+    @pytest.mark.parametrize(
+        "collection,selection",
+        [
+            (["a"], [0]),  # prefer-false idiom
+            (["a", "b"], [1]),  # max-cut edge
+            (["a", "b", "c", "d"], [1, 2]),  # the audit's counterexample
+            (["a", "b", "c"], [1, 2, 3]),
+            (["a", "b", "c", "d", "e"], [1]),  # soft one-hot
+            (["a", "a", "b"], [2]),
+        ],
+    )
+    def test_exact_synthesis(self, collection, selection):
+        c = nck(collection, selection, soft=True)
+        result = synthesize_constraint_qubo(c, exact_penalty=True)
+        assert result.exact_penalty
+        assert verify_constraint_qubo(c, result)
+
+    def test_exact_flag_checked_by_verifier(self):
+        """A non-exact QUBO must fail verification when claimed exact."""
+        from repro.compile.synthesize import SynthesisResult
+
+        c = nck(["a", "b", "c", "d"], [1, 2])
+        loose = synthesize_constraint_qubo(c, exact_penalty=False)
+        # The closed-form two-point QUBO penalizes s=4 by 3, not 1.
+        claimed = SynthesisResult(
+            qubo=loose.qubo,
+            ancillas=loose.ancillas,
+            used_closed_form=loose.used_closed_form,
+            exact_penalty=True,
+        )
+        assert not verify_constraint_qubo(c, claimed)
+
+    def test_max_energy_upper_bound(self):
+        c = nck(["a", "b", "c"], [1])
+        result = synthesize_constraint_qubo(c)
+        ub = result.max_energy_upper_bound()
+        # Exhaustive max over assignments must not exceed the bound.
+        from repro.qubo import enumerate_assignments
+
+        variables = result.qubo.variables
+        if variables:
+            energies = result.qubo.energies(
+                enumerate_assignments(len(variables)), variables
+            )
+            assert energies.max() <= ub + 1e-9

@@ -1,0 +1,51 @@
+"""Unit tests for constraint truth tables."""
+
+import numpy as np
+import pytest
+
+from repro.compile import build_truth_table
+from repro.compile.truthtable import MAX_UNIQUE_VARIABLES
+from repro.core import nck
+
+
+class TestBuildTruthTable:
+    def test_simple_or(self):
+        table = build_truth_table(nck(["a", "b"], [1, 2]))
+        assert table.variables == ("a", "b")
+        # rows: 00, 01, 10, 11
+        assert table.valid.tolist() == [False, True, True, True]
+
+    def test_multiplicity_affects_counts(self):
+        # {a, b, b} with selection {2}: valid iff count == 2, i.e. b=1,a=0.
+        table = build_truth_table(nck(["a", "b", "b"], [2]))
+        assert table.variables == ("a", "b")
+        # rows over (a, b): 00→0, 01→2, 10→1, 11→3
+        assert table.valid.tolist() == [False, True, False, False]
+
+    def test_all_valid(self):
+        table = build_truth_table(nck(["a", "b"], [0, 1, 2]))
+        assert table.all_valid
+
+    def test_none_valid(self):
+        table = build_truth_table(nck(["a", "a"], [1]))
+        assert table.none_valid
+
+    def test_num_valid(self):
+        table = build_truth_table(nck(["a", "b", "c"], [1]))
+        assert table.num_valid == 3
+
+    def test_size_cap(self):
+        big = nck([f"v{i}" for i in range(MAX_UNIQUE_VARIABLES + 1)], [1])
+        with pytest.raises(ValueError):
+            build_truth_table(big)
+
+    def test_row_order_is_lexicographic(self):
+        table = build_truth_table(nck(["a", "b"], [1]))
+        assert table.assignments.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+    def test_paper_sat_constraint(self):
+        """nck({x,y,z,z,z},{0,1,2,4,5}): only x=y=0,z=1 invalid."""
+        table = build_truth_table(nck(["x", "y", "z", "z", "z"], [0, 1, 2, 4, 5]))
+        assert table.variables == ("x", "y", "z")
+        invalid_rows = table.assignments[~table.valid]
+        assert invalid_rows.tolist() == [[0, 0, 1]]

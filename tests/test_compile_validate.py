@@ -1,0 +1,99 @@
+"""Tests for whole-program compilation validation + randomized audit.
+
+The randomized audit is the strongest correctness statement in the test
+suite: for dozens of random NchooseK programs, the compiled QUBO's
+energy landscape must implement Definition 6 *exactly* — hard dominance
+and unit-gap soft counting — verified exhaustively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compile import compile_program
+from repro.compile.validate import (
+    MAX_VALIDATION_VARIABLES,
+    ProgramValidationError,
+    verify_compiled_program,
+)
+from repro.core import Env
+from repro.qubo import QUBO
+
+
+def mvc_env() -> Env:
+    env = Env()
+    for e in [("a", "b"), ("a", "c"), ("b", "c"), ("c", "d"), ("d", "e")]:
+        env.nck(list(e), [1, 2])
+    for v in "abcde":
+        env.prefer_false(v)
+    return env
+
+
+class TestVerifyCompiledProgram:
+    def test_valid_program_passes(self):
+        env = mvc_env()
+        verify_compiled_program(env, compile_program(env))
+
+    def test_program_with_ancillas_passes(self):
+        env = Env()
+        env.nck(["a", "b", "c"], [0, 2])  # XOR: one ancilla
+        env.prefer_true("a")
+        verify_compiled_program(env, compile_program(env))
+
+    def test_corrupted_qubo_detected(self):
+        env = mvc_env()
+        program = compile_program(env)
+        # Sabotage: reward an infeasible assignment heavily.
+        program.qubo += QUBO({"a": -50.0})
+        with pytest.raises(ProgramValidationError):
+            verify_compiled_program(env, program)
+
+    def test_insufficient_hard_scale_detected(self):
+        env = mvc_env()
+        # hard_scale 1 cannot dominate 5 soft constraints.
+        program = compile_program(env, hard_scale=1.0)
+        with pytest.raises(ProgramValidationError):
+            verify_compiled_program(env, program)
+
+    def test_size_cap(self):
+        env = Env()
+        env.nck([f"v{i}" for i in range(MAX_VALIDATION_VARIABLES + 1)], [1])
+        program = compile_program(env)
+        with pytest.raises(ValueError):
+            verify_compiled_program(env, program)
+
+    def test_jointly_unsatisfiable_is_vacuous(self):
+        env = Env()
+        env.nck(["a", "b"], [1])
+        env.nck(["a", "b"], [0, 2])
+        program = compile_program(env)
+        verify_compiled_program(env, program)  # nothing to check
+
+
+class TestRandomizedAudit:
+    """Random programs → compiled QUBOs must be exact (Definition 6)."""
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_random_programs(self, seed):
+        rng = np.random.default_rng(seed)
+        env = Env()
+        names = [f"v{i}" for i in range(int(rng.integers(3, 7)))]
+        for _ in range(int(rng.integers(2, 7))):
+            size = int(rng.integers(1, min(4, len(names)) + 1))
+            coll = [names[i] for i in rng.choice(len(names), size=size, replace=False)]
+            # Occasionally repeat a variable (multiset collections).
+            if rng.random() < 0.3:
+                coll.append(coll[0])
+            card = len(coll)
+            sel = sorted(set(int(x) for x in rng.integers(0, card + 1, size=int(rng.integers(1, card + 2)))))
+            constraint_env_var = env.nck(coll, sel, soft=bool(rng.random() < 0.5))
+            del constraint_env_var
+        # Skip programs with unsatisfiable hard constraints in isolation.
+        from repro.core import UnsatisfiableError
+
+        try:
+            program = compile_program(env)
+        except UnsatisfiableError:
+            return
+        if len(program.all_variables) > MAX_VALIDATION_VARIABLES:
+            return
+        verify_compiled_program(env, program)

@@ -1,0 +1,166 @@
+"""Unit tests for the Env program container and Block templates."""
+
+import pytest
+
+from repro.core import (
+    AND_BLOCK,
+    Block,
+    Env,
+    NOT_BLOCK,
+    NckError,
+    OR_BLOCK,
+    Var,
+    XOR_BLOCK,
+    nck,
+)
+
+
+class TestEnvVariables:
+    def test_register_port_interns(self):
+        env = Env()
+        a1 = env.register_port("a")
+        a2 = env.register_port("a")
+        assert a1 is a2
+        assert env.num_variables == 1
+
+    def test_register_ports(self):
+        env = Env()
+        vs = env.register_ports(["a", "b", "c"])
+        assert [v.name for v in vs] == ["a", "b", "c"]
+
+    def test_new_var_unique(self):
+        env = Env()
+        env.register_port("_anc0")
+        fresh = env.new_var()
+        assert fresh.name != "_anc0"
+        assert fresh.name in env
+
+    def test_contains(self):
+        env = Env()
+        env.register_port("a")
+        assert "a" in env and Var("a") in env and "b" not in env
+
+    def test_registration_order_preserved(self):
+        env = Env()
+        env.nck(["z", "a", "m"], [1])
+        assert [v.name for v in env.variables] == ["z", "a", "m"]
+
+
+class TestEnvConstraints:
+    def test_nck_registers_strings(self):
+        env = Env()
+        c = env.nck(["a", "b"], [1])
+        assert env.num_variables == 2
+        assert c.selection.values == (1,)
+
+    def test_nck_rejects_foreign_var(self):
+        env = Env()
+        with pytest.raises(NckError):
+            env.nck([Var("ghost")], [0])
+
+    def test_nck_accepts_registered_var(self):
+        env = Env()
+        a = env.register_port("a")
+        env.nck([a], [1])
+        assert env.num_constraints == 1
+
+    def test_add_constraint_registers_variables(self):
+        env = Env()
+        env.add_constraint(nck(["x", "y"], [1]))
+        assert "x" in env and "y" in env
+
+    def test_hard_soft_partition(self):
+        env = Env()
+        env.nck(["a", "b"], [1])
+        env.nck(["a"], [0], soft=True)
+        assert len(env.hard_constraints) == 1
+        assert len(env.soft_constraints) == 1
+
+    def test_satisfied_counts(self):
+        env = Env()
+        env.nck(["a", "b"], [1])
+        env.nck(["a"], [0], soft=True)
+        env.nck(["b"], [0], soft=True)
+        hard, soft = env.satisfied_counts({"a": True, "b": False})
+        assert (hard, soft) == (1, 1)
+
+
+class TestConvenienceBuilders:
+    def test_same(self):
+        env = Env()
+        c = env.same("a", "b")
+        assert c.selection.values == (0, 2)
+
+    def test_different(self):
+        env = Env()
+        assert env.different("a", "b").selection.values == (1,)
+
+    def test_either(self):
+        env = Env()
+        assert env.either("a", "b").selection.values == (1, 2)
+
+    def test_exactly_at_least_at_most(self):
+        env = Env()
+        assert env.exactly(["a", "b", "c"], 2).selection.values == (2,)
+        assert env.at_least(["a", "b", "c"], 2).selection.values == (2, 3)
+        assert env.at_most(["a", "b", "c"], 1).selection.values == (0, 1)
+
+    def test_prefer_idioms_are_soft(self):
+        env = Env()
+        assert env.prefer_false("a").soft
+        assert env.prefer_true("b").soft
+        assert env.prefer_true("b").selection.values == (1,)
+
+
+class TestBlocks:
+    def test_block_validates_ports(self):
+        with pytest.raises(NckError):
+            Block("bad", ["a"], [(["a", "zz"], [1], False)])
+
+    def test_instantiate_with_binding(self):
+        env = Env()
+        added = XOR_BLOCK.instantiate(env, {"a": "x", "b": "y", "c": "z"})
+        assert len(added) == 1
+        assert {v.name for v in added[0].variables} == {"x", "y", "z"}
+
+    def test_instantiate_fresh_ports(self):
+        env = Env()
+        XOR_BLOCK.instantiate(env)
+        assert env.num_variables == 3
+
+    @pytest.mark.parametrize(
+        "block,table",
+        [
+            (AND_BLOCK, lambda a, b: a and b),
+            (OR_BLOCK, lambda a, b: a or b),
+            (XOR_BLOCK, lambda a, b: a != b),
+        ],
+    )
+    def test_gate_blocks_encode_truth_tables(self, block, table):
+        for a in (False, True):
+            for b in (False, True):
+                env = Env()
+                (constraint,) = block.instantiate(env, {"a": "a", "b": "b", "c": "c"})
+                expected = table(a, b)
+                assert constraint.is_satisfied({"a": a, "b": b, "c": expected})
+                assert not constraint.is_satisfied({"a": a, "b": b, "c": not expected})
+
+    def test_not_block(self):
+        env = Env()
+        (c,) = NOT_BLOCK.instantiate(env, {"a": "p", "b": "q"})
+        assert c.is_satisfied({"p": True, "q": False})
+        assert not c.is_satisfied({"p": True, "q": True})
+
+
+class TestEnvSolveIntegration:
+    def test_default_backend_is_classical(self):
+        env = Env()
+        env.nck(["a", "b"], [2])
+        sol = env.solve()
+        assert sol.assignment == {"a": True, "b": True}
+
+    def test_repr(self):
+        env = Env()
+        env.nck(["a", "b"], [1])
+        env.prefer_false("a")
+        assert "1 hard" in repr(env) and "1 soft" in repr(env)

@@ -1,0 +1,87 @@
+"""Unit tests for Solution / SampleSet and the Definition 8 classifier."""
+
+import pytest
+
+from repro.core import Env, SampleSet, Solution, SolutionQuality
+
+
+def mixed_env() -> Env:
+    env = Env()
+    env.nck(["a", "b"], [1, 2])  # hard: at least one
+    env.prefer_false("a")
+    env.prefer_false("b")
+    return env
+
+
+class TestSolution:
+    def test_from_assignment_counts(self):
+        env = mixed_env()
+        sol = Solution.from_assignment(env, {"a": True, "b": False})
+        assert sol.hard_satisfied == 1
+        assert sol.soft_satisfied == 1
+        assert sol.hard_total == 1
+        assert sol.soft_total == 2
+
+    def test_quality_optimal(self):
+        env = mixed_env()
+        sol = Solution.from_assignment(env, {"a": True, "b": False})
+        assert sol.quality(max_soft_satisfiable=1) is SolutionQuality.OPTIMAL
+
+    def test_quality_suboptimal(self):
+        env = mixed_env()
+        sol = Solution.from_assignment(env, {"a": True, "b": True})
+        assert sol.quality(max_soft_satisfiable=1) is SolutionQuality.SUBOPTIMAL
+
+    def test_quality_incorrect(self):
+        env = mixed_env()
+        sol = Solution.from_assignment(env, {"a": False, "b": False})
+        assert sol.quality(max_soft_satisfiable=1) is SolutionQuality.INCORRECT
+
+    def test_getitem_accepts_var_or_name(self):
+        env = mixed_env()
+        sol = Solution.from_assignment(env, {"a": True, "b": False})
+        assert sol["a"] is True
+        assert sol[env.register_port("b")] is False
+
+    def test_classify_static(self):
+        env = mixed_env()
+        q = SolutionQuality.classify(env, {"a": True, "b": False}, 1)
+        assert q is SolutionQuality.OPTIMAL
+
+
+class TestSampleSet:
+    def test_sorted_by_energy(self):
+        env = mixed_env()
+        s1 = Solution.from_assignment(env, {"a": True, "b": True}, energy=5.0)
+        s2 = Solution.from_assignment(env, {"a": True, "b": False}, energy=1.0)
+        ss = SampleSet(solutions=[s1, s2])
+        assert ss.best.energy == 1.0
+        assert ss[0].energy == 1.0
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            SampleSet(solutions=[]).best
+
+    def test_best_quality_takes_best_sample(self):
+        """The paper's annealer acceptance: any optimal read counts."""
+        env = mixed_env()
+        bad = Solution.from_assignment(env, {"a": False, "b": False}, energy=9.0)
+        good = Solution.from_assignment(env, {"a": True, "b": False}, energy=1.0)
+        ss = SampleSet(solutions=[bad, good])
+        assert ss.best_quality(1) is SolutionQuality.OPTIMAL
+
+    def test_best_quality_all_incorrect(self):
+        env = mixed_env()
+        bad = Solution.from_assignment(env, {"a": False, "b": False})
+        ss = SampleSet(solutions=[bad])
+        assert ss.best_quality(1) is SolutionQuality.INCORRECT
+
+    def test_len_and_iter(self):
+        env = mixed_env()
+        sols = [
+            Solution.from_assignment(env, {"a": True, "b": False}, energy=float(i))
+            for i in range(3)
+        ]
+        ss = SampleSet(solutions=sols)
+        assert len(ss) == 3
+        assert [s.energy for s in ss] == [0.0, 1.0, 2.0]

@@ -1,0 +1,73 @@
+"""Unit tests for Definition 7 symmetry classes and cache keys."""
+
+from repro.core import (
+    are_symmetric,
+    cache_key,
+    count_nonsymmetric,
+    nck,
+    symmetry_classes,
+    symmetry_key,
+)
+
+
+class TestDefinition7:
+    def test_paper_examples(self):
+        """The exact examples below Definition 7."""
+        c1 = nck(["a", "b", "c"], [0, 2])
+        c2 = nck(["b", "c", "d"], [0, 2])
+        c3 = nck(["b", "c", "d"], [1, 2])
+        c4 = nck(["b", "c"], [1, 2])
+        assert are_symmetric(c1, c2)
+        assert not are_symmetric(c1, c3)  # different selection set
+        assert not are_symmetric(c1, c4)  # different cardinality
+
+    def test_repetition_counts_toward_cardinality(self):
+        # {a, a, b} and {c, d, e} share cardinality 3 and selection set.
+        c1 = nck(["a", "a", "b"], [2])
+        c2 = nck(["c", "d", "e"], [2])
+        assert are_symmetric(c1, c2)
+
+    def test_soft_flag_does_not_affect_symmetry(self):
+        assert are_symmetric(nck(["a"], [0]), nck(["b"], [0], soft=True))
+
+
+class TestCacheKey:
+    def test_finer_than_symmetry(self):
+        """Equal-cardinality constraints with different multiplicity
+        profiles are symmetric (Def. 7) but must not share a QUBO."""
+        c1 = nck(["a", "a", "b"], [2])
+        c2 = nck(["c", "d", "e"], [2])
+        assert symmetry_key(c1) == symmetry_key(c2)
+        assert cache_key(c1) != cache_key(c2)
+
+    def test_same_profile_shares_key(self):
+        c1 = nck(["a", "a", "b"], [2])
+        c2 = nck(["x", "y", "y"], [2])
+        assert cache_key(c1) == cache_key(c2)
+
+
+class TestCounting:
+    def test_count_nonsymmetric_vertex_cover(self):
+        """Min vertex cover has exactly 2 classes (Table I row 3)."""
+        constraints = [
+            nck(["a", "b"], [1, 2]),
+            nck(["b", "c"], [1, 2]),
+            nck(["a"], [0], soft=True),
+            nck(["b"], [0], soft=True),
+            nck(["c"], [0], soft=True),
+        ]
+        assert count_nonsymmetric(constraints) == 2
+
+    def test_symmetry_classes_grouping(self):
+        constraints = [
+            nck(["a", "b"], [1]),
+            nck(["c", "d"], [1]),
+            nck(["e"], [0]),
+        ]
+        classes = symmetry_classes(constraints)
+        assert len(classes) == 2
+        sizes = sorted(len(v) for v in classes.values())
+        assert sizes == [1, 2]
+
+    def test_count_empty(self):
+        assert count_nonsymmetric([]) == 0

@@ -1,0 +1,148 @@
+"""Unit tests for the core NchooseK value types."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    NegatedVar,
+    SelectionSet,
+    Var,
+    VariableCollection,
+    nck,
+)
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("a") == Var("a")
+        assert Var("a") != Var("b")
+
+    def test_ordering(self):
+        assert Var("a") < Var("b")
+
+    def test_negation_roundtrip(self):
+        assert ~Var("x") == NegatedVar("x")
+        assert ~~Var("x") == Var("x")
+
+    def test_hashable(self):
+        assert len({Var("a"), Var("a"), Var("b")}) == 2
+
+
+class TestVariableCollection:
+    def test_cardinality_counts_repetitions(self):
+        coll = VariableCollection(["a", "b", "b"])
+        assert coll.cardinality == 3
+        assert len(coll.unique) == 2
+
+    def test_accepts_vars_and_strings(self):
+        coll = VariableCollection([Var("a"), "b"])
+        assert coll.unique == (Var("a"), Var("b"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VariableCollection([])
+
+    def test_true_count_with_multiplicity(self):
+        coll = VariableCollection(["a", "b", "b"])
+        assert coll.true_count({"a": True, "b": False}) == 1
+        assert coll.true_count({"a": False, "b": True}) == 2
+        assert coll.true_count({"a": True, "b": True}) == 3
+
+    def test_true_count_accepts_var_keys(self):
+        coll = VariableCollection(["a"])
+        assert coll.true_count({Var("a"): True}) == 1
+
+    def test_iteration_repeats(self):
+        coll = VariableCollection(["b", "a", "b"])
+        assert sorted(v.name for v in coll) == ["a", "b", "b"]
+
+    def test_equality_is_multiset(self):
+        assert VariableCollection(["a", "b"]) == VariableCollection(["b", "a"])
+        assert VariableCollection(["a", "b"]) != VariableCollection(["a", "b", "b"])
+
+    def test_contains(self):
+        coll = VariableCollection(["a", "b"])
+        assert "a" in coll
+        assert Var("b") in coll
+        assert "c" not in coll
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            VariableCollection([1])
+
+
+class TestSelectionSet:
+    def test_sorted_deduplicated(self):
+        s = SelectionSet([3, 1, 1, 2])
+        assert s.values == (1, 2, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionSet([-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionSet([])
+
+    def test_contiguity(self):
+        assert SelectionSet([1, 2, 3]).is_contiguous()
+        assert not SelectionSet([0, 2]).is_contiguous()
+        assert SelectionSet([4]).is_contiguous()
+
+    def test_membership(self):
+        s = SelectionSet([0, 2])
+        assert 0 in s and 2 in s and 1 not in s
+
+
+class TestConstraint:
+    def test_selection_bounded_by_cardinality(self):
+        with pytest.raises(ValueError):
+            nck(["a", "b"], [3])
+
+    def test_selection_bound_uses_multiplicity(self):
+        # {a, a} has cardinality 2, so {2} is fine.
+        c = nck(["a", "a"], [2])
+        assert c.collection.cardinality == 2
+
+    def test_satisfaction(self):
+        c = nck(["a", "b"], [1])
+        assert c.is_satisfied({"a": True, "b": False})
+        assert not c.is_satisfied({"a": True, "b": True})
+        assert not c.is_satisfied({"a": False, "b": False})
+
+    def test_satisfaction_with_repetition(self):
+        # Paper's corrected SAT-negation constraint: z tripled.
+        c = nck(["x", "y", "z", "z", "z"], [0, 1, 2, 4, 5])
+        # Violating assignment of (x ∨ y ∨ ¬z): x=y=0, z=1 → count 3.
+        assert not c.is_satisfied({"x": False, "y": False, "z": True})
+        assert c.is_satisfied({"x": True, "y": False, "z": True})
+        assert c.is_satisfied({"x": False, "y": False, "z": False})
+
+    def test_trivial(self):
+        assert nck(["a", "b"], [0, 1, 2]).is_trivial()
+        assert not nck(["a", "b"], [1]).is_trivial()
+
+    def test_trivial_respects_reachability(self):
+        # {a, a} can only reach counts {0, 2}; {0, 2} is trivial for it.
+        assert nck(["a", "a"], [0, 2]).is_trivial()
+
+    def test_unsatisfiable(self):
+        assert nck(["a", "a"], [1]).is_unsatisfiable()
+        assert not nck(["a", "b"], [1]).is_unsatisfiable()
+
+    def test_soft_flag(self):
+        assert nck(["a"], [0], soft=True).soft
+        assert not nck(["a"], [0]).soft
+
+    def test_variables_are_unique(self):
+        c = nck(["a", "b", "b"], [1])
+        assert c.variables == (Var("a"), Var("b"))
+
+    def test_xor_example(self):
+        """The paper's c = a ⊕ b constraint: nck({a,b,c},{0,2})."""
+        c = nck(["a", "b", "c"], [0, 2])
+        for a in (False, True):
+            for b in (False, True):
+                expected = a != b
+                assert c.is_satisfied({"a": a, "b": b, "c": expected})
+                assert not c.is_satisfied({"a": a, "b": b, "c": not expected})

@@ -1,0 +1,64 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+slow full-scale demos are exercised through their main building blocks
+instead of wall-clock-heavy loops.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys, monkeypatch=None, argv=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + list(argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "three machines" in out
+        assert out.count("optimal") >= 3
+
+    def test_sat_solver(self, capsys):
+        out = run_example("sat_solver.py", capsys)
+        assert "SATISFIED" in out
+        assert "dual-rail" in out and "repeated-variable" in out
+
+    def test_custom_mixer(self, capsys):
+        out = run_example("custom_mixer_qaoa.py", capsys)
+        assert "4000/4000 (100.0%)" in out  # XY mixer: all shots feasible
+        assert "['storage']" in out  # the cheapest option wins
+
+    def test_map_coloring(self, capsys):
+        out = run_example("map_coloring_demo.py", capsys)
+        assert "coloring" in out
+        # All six states assigned one of the three colors.
+        assert sum(out.count(c) for c in ("red", "green", "blue")) >= 6
+
+    @pytest.mark.slow
+    def test_max_cut(self, capsys):
+        out = run_example("max_cut_demo.py", capsys)
+        assert "partition" in out
+
+    def test_examples_have_docstrings_and_mains(self):
+        for path in EXAMPLES.glob("*.py"):
+            text = path.read_text()
+            assert text.startswith("#!/usr/bin/env python3"), path.name
+            assert '__main__' in text, path.name
+            assert '"""' in text, path.name
+
+    def test_hpc_scheduling(self, capsys):
+        out = run_example("hpc_scheduling.py", capsys)
+        assert "optimal schedule" in out
+        assert "total lateness: 4" in out

@@ -1,0 +1,116 @@
+"""Cross-backend integration tests: one problem, three backends.
+
+The NchooseK portability claim: the same program runs unchanged on the
+classical solver, the annealing device, and the circuit device, and (in
+the noiseless configurations) they agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealing import AnnealingDevice, AnnealingDeviceProfile
+from repro.circuit import CircuitDevice, CircuitDeviceProfile
+from repro.classical import ExactNckSolver
+from repro.core import Env, SolutionQuality
+from repro.experiments import max_soft_satisfiable
+from repro.problems import (
+    ExactCover,
+    KSat,
+    MapColoring,
+    MaxCut,
+    MinSetCover,
+    MinVertexCover,
+    vertex_scaling_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def annealer():
+    return AnnealingDevice(AnnealingDeviceProfile.small_test(m=4, noiseless=True))
+
+
+@pytest.fixture(scope="module")
+def circuit_device():
+    return CircuitDevice(CircuitDeviceProfile.brooklyn(noiseless=True))
+
+
+def backends_agree(instance, env, annealer, circuit_device, seed=0):
+    truth = max_soft_satisfiable(instance, env)
+    classical = ExactNckSolver().solve(env)
+    assert classical.quality(truth) is SolutionQuality.OPTIMAL
+
+    rng = np.random.default_rng(seed)
+    anneal = annealer.sample(env, num_reads=50, rng=rng)
+    assert anneal.best_quality(truth) is SolutionQuality.OPTIMAL
+    assert instance.verify(anneal.best.assignment) or not anneal.best.all_hard_satisfied
+
+    if env.to_qubo().qubo.num_variables <= 14:
+        circ = circuit_device.sample(env, rng=np.random.default_rng(seed))
+        assert circ.best.quality(truth) in (
+            SolutionQuality.OPTIMAL,
+            SolutionQuality.SUBOPTIMAL,
+        )
+
+
+class TestPortability:
+    def test_min_vertex_cover(self, annealer, circuit_device):
+        inst = MinVertexCover(vertex_scaling_graph(2))
+        backends_agree(inst, inst.build_env(), annealer, circuit_device)
+
+    def test_max_cut(self, annealer, circuit_device):
+        inst = MaxCut(vertex_scaling_graph(2))
+        backends_agree(inst, inst.build_env(), annealer, circuit_device, seed=1)
+
+    def test_exact_cover(self, annealer, circuit_device):
+        inst = ExactCover.random_satisfiable(5, 6, np.random.default_rng(2))
+        backends_agree(inst, inst.build_env(), annealer, circuit_device, seed=2)
+
+    def test_min_set_cover(self, annealer, circuit_device):
+        ec = ExactCover.random_satisfiable(4, 5, np.random.default_rng(3))
+        inst = MinSetCover.from_exact_cover(ec)
+        backends_agree(inst, inst.build_env(), annealer, circuit_device, seed=3)
+
+    def test_ksat(self, annealer, circuit_device):
+        inst = KSat.random_3sat(4, 6, np.random.default_rng(4))
+        backends_agree(inst, inst.build_env(), annealer, circuit_device, seed=4)
+
+    def test_map_coloring(self, annealer, circuit_device):
+        inst = MapColoring(vertex_scaling_graph(1), 3)
+        backends_agree(inst, inst.build_env(), annealer, circuit_device, seed=5)
+
+
+class TestPaperExamples:
+    def test_abstract_example(self, annealer):
+        """nck({a,b},{0,1}) ∧ nck({b,c},{1}) from the paper's intro."""
+        env = Env()
+        env.nck(["a", "b"], [0, 1])
+        env.nck(["b", "c"], [1])
+        for backend in (ExactNckSolver(), annealer):
+            sol = backend.solve(env, rng=np.random.default_rng(0)) if not isinstance(
+                backend, ExactNckSolver
+            ) else backend.solve(env)
+            a, b, c = sol["a"], sol["b"], sol["c"]
+            assert int(a) + int(b) in (0, 1)
+            assert int(b) + int(c) == 1
+
+    def test_xor_via_block(self, annealer):
+        """The paper's A ⊕ B = C example compiled and annealed."""
+        from repro.core import XOR_BLOCK
+
+        env = Env()
+        XOR_BLOCK.instantiate(env, {"a": "a", "b": "b", "c": "c"})
+        env.nck(["a"], [1])
+        env.nck(["b"], [0])
+        sol = annealer.solve(env, num_reads=20, rng=np.random.default_rng(1))
+        assert sol["c"] is True  # 1 XOR 0
+
+    def test_figure2_minimum_vertex_cover(self, annealer):
+        """Section IV's running example solved end to end."""
+        env = Env()
+        for e in [("a", "b"), ("a", "c"), ("b", "c"), ("c", "d"), ("d", "e")]:
+            env.nck(list(e), [1, 2])
+        for v in "abcde":
+            env.prefer_false(v)
+        sol = annealer.solve(env, num_reads=50, rng=np.random.default_rng(2))
+        cover = {k for k, v in sol.assignment.items() if v}
+        assert len(cover) == 3

@@ -1,0 +1,140 @@
+"""Unit tests for serialization (program JSON, qbsolv QUBO, DIMACS)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Env, NckError
+from repro.io import (
+    env_from_json,
+    env_to_json,
+    ksat_from_dimacs,
+    ksat_to_dimacs,
+    qubo_from_qbsolv,
+    qubo_to_qbsolv,
+)
+from repro.problems import KSat
+from repro.qubo import QUBO
+
+
+def sample_env() -> Env:
+    env = Env()
+    env.nck(["a", "b"], [1, 2])
+    env.nck(["b", "c", "c"], [0, 3])
+    env.prefer_false("a")
+    return env
+
+
+class TestProgramJSON:
+    def test_roundtrip(self):
+        env = sample_env()
+        restored = env_from_json(env_to_json(env))
+        assert [v.name for v in restored.variables] == [
+            v.name for v in env.variables
+        ]
+        assert len(restored.constraints) == len(env.constraints)
+        for c1, c2 in zip(env.constraints, restored.constraints):
+            assert c1.collection == c2.collection
+            assert c1.selection == c2.selection
+            assert c1.soft == c2.soft
+
+    def test_soft_flags_survive(self):
+        restored = env_from_json(env_to_json(sample_env()))
+        assert len(restored.soft_constraints) == 1
+
+    def test_repeated_variables_survive(self):
+        restored = env_from_json(env_to_json(sample_env()))
+        assert restored.constraints[1].collection.cardinality == 3
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(NckError):
+            env_from_json('{"format": "something-else"}')
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(NckError):
+            env_from_json('{"format": "nchoosek-program", "version": 99}')
+
+    def test_solutions_agree(self):
+        env = sample_env()
+        restored = env_from_json(env_to_json(env))
+        s1 = env.solve()
+        s2 = restored.solve()
+        assert s1.assignment == s2.assignment
+
+
+class TestQbsolv:
+    def test_roundtrip(self):
+        q = QUBO({"a": 1.5, "b": -2.0}, {("a", "b"): 3.0}, offset=0.25)
+        back = qubo_from_qbsolv(qubo_to_qbsolv(q))
+        assert back == q
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(0)
+        q = QUBO(
+            {f"v{i}": float(rng.normal()) for i in range(6)},
+            {
+                (f"v{i}", f"v{j}"): float(rng.normal())
+                for i in range(6)
+                for j in range(i + 1, 6)
+                if rng.random() < 0.5
+            },
+            offset=float(rng.normal()),
+        )
+        assert qubo_from_qbsolv(qubo_to_qbsolv(q)) == q
+
+    def test_header_counts(self):
+        q = QUBO({"a": 1.0, "b": 2.0}, {("a", "b"): 3.0})
+        text = qubo_to_qbsolv(q)
+        assert "p qubo 0 2 2 1" in text
+
+    def test_parse_without_name_comments(self):
+        text = "p qubo 0 2 1 1\n0 0 1.5\n0 1 -2.0\n"
+        q = qubo_from_qbsolv(text)
+        assert q.linear == {"x0": 1.5}
+        assert q.quadratic == {("x0", "x1"): -2.0}
+
+    def test_compiled_program_exports(self):
+        env = sample_env()
+        program = env.to_qubo()
+        text = qubo_to_qbsolv(program.qubo)
+        assert qubo_from_qbsolv(text) == program.qubo
+
+
+class TestDimacs:
+    CNF = """c example
+p cnf 3 2
+1 -2 3 0
+-1 2 0
+"""
+
+    def test_parse(self):
+        inst = ksat_from_dimacs(self.CNF)
+        assert inst.num_vars == 3
+        assert inst.clauses == (
+            ((0, True), (1, False), (2, True)),
+            ((0, False), (1, True)),
+        )
+
+    def test_roundtrip(self):
+        inst = ksat_from_dimacs(self.CNF)
+        again = ksat_from_dimacs(ksat_to_dimacs(inst))
+        assert again.num_vars == inst.num_vars
+        assert again.clauses == inst.clauses
+
+    def test_random_instance_roundtrip(self):
+        inst = KSat.random_3sat(6, 10, np.random.default_rng(1))
+        again = ksat_from_dimacs(ksat_to_dimacs(inst))
+        assert again.clauses == inst.clauses
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(NckError):
+            ksat_from_dimacs("1 2 0\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(NckError):
+            ksat_from_dimacs("p sat 3 2\n1 2 0\n")
+
+    def test_solve_parsed_instance(self):
+        inst = ksat_from_dimacs(self.CNF)
+        assert inst.is_satisfiable()
+        solution = inst.build_env().solve()
+        assert inst.verify(solution.assignment)

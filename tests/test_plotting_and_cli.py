@@ -1,0 +1,113 @@
+"""Tests for ASCII plotting and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.plotting import ascii_scatter, ascii_series, log_bins
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        assert ascii_scatter({}) == "(no data)"
+
+    def test_single_point(self):
+        out = ascii_scatter({"s": [(1.0, 2.0)]})
+        assert "o s" in out
+        assert "o" in out.splitlines()[0] or any("o" in l for l in out.splitlines())
+
+    def test_two_series_distinct_markers(self):
+        out = ascii_scatter({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o a" in out and "x b" in out
+
+    def test_dimensions(self):
+        out = ascii_scatter({"s": [(0, 0), (10, 10)]}, width=40, height=8)
+        lines = out.splitlines()
+        # 8 grid rows + axis + labels + legend
+        assert len(lines) == 8 + 4
+
+    def test_extremes_plotted_at_corners(self):
+        out = ascii_scatter({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        lines = out.splitlines()
+        assert lines[0].rstrip().endswith("o")  # top-right = (1, 1)
+
+    def test_series_sorts(self):
+        out = ascii_series({"s": [(3, 1), (1, 3)]})
+        assert "(no data)" not in out
+
+
+class TestLogBins:
+    def test_empty(self):
+        assert log_bins([]) == []
+
+    def test_single_value(self):
+        assert log_bins([2.0, 2.0]) == [(2.0, 2)]
+
+    def test_counts_sum(self):
+        values = [0.001, 0.01, 0.1, 1.0, 10.0]
+        bins = log_bins(values, bins=4)
+        assert sum(c for _, c in bins) == len(values)
+
+    def test_nonpositive_dropped(self):
+        bins = log_bins([-1.0, 0.0, 1.0, 10.0], bins=2)
+        assert sum(c for _, c in bins) == 2
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Min. Vert. Cover" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "med=" in out
+
+    def test_timing(self, capsys):
+        assert main(["timing"]) == 0
+        out = capsys.readouterr().out
+        assert "programming" in out and "quantum_execution" in out
+
+    def test_fig12_quick(self, capsys):
+        assert main(["fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fit: t ≈" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestReportSections:
+    """The report generator's cheap sections (full runs live in the CLI)."""
+
+    def test_header_mentions_configuration(self):
+        from repro.experiments.report import _header
+
+        text = _header(7, full=False)
+        assert "seed: 7" in text and "quick" in text
+
+    def test_table1_section(self):
+        from repro.experiments.report import _section_table1
+
+        text = _section_table1()
+        assert text.startswith("## Table I")
+        assert "Min. Vert. Cover" in text
+
+    def test_fig11_section(self):
+        from repro.experiments.report import _section_fig11
+
+        text = _section_fig11()
+        assert "Figure 11" in text and "med" in text
+
+    def test_fig12_section_quick(self):
+        from repro.experiments.report import _section_fig12
+
+        text = _section_fig12(full=False)
+        assert "fit: t ≈" in text
+
+    def test_timing_section(self):
+        from repro.experiments.report import _section_timing
+
+        text = _section_timing()
+        assert "D-Wave job" in text and "IBM QAOA" in text

@@ -1,0 +1,260 @@
+"""Cross-problem tests: every Table I formulation solves to a valid,
+optimal solution, and its handcrafted QUBO has the right ground states."""
+
+import numpy as np
+import pytest
+
+from repro.classical import ExactNckSolver, ExactQUBOSolver
+from repro.problems import (
+    CliqueCover,
+    ExactCover,
+    KSat,
+    MapColoring,
+    MaxCut,
+    MinSetCover,
+    MinVertexCover,
+    edge_scaling_graph,
+    vertex_scaling_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestMinVertexCover:
+    def test_nck_solution_is_minimum_cover(self):
+        inst = MinVertexCover(vertex_scaling_graph(3))
+        sol = inst.build_env().solve()
+        assert inst.verify(sol.assignment)
+        assert inst.objective(sol.assignment) == inst.optimal_cover_size()
+
+    def test_handmade_qubo_ground_state_is_minimum_cover(self):
+        inst = MinVertexCover(vertex_scaling_graph(2))
+        e, a = ExactQUBOSolver().solve(inst.handmade_qubo())
+        assignment = {k: bool(v) for k, v in a.items()}
+        assert inst.verify(assignment)
+        assert inst.objective(assignment) == inst.optimal_cover_size()
+
+    def test_counts_match_paper_formulas(self):
+        """|E| hard + |V| soft constraints; 2 non-symmetric classes."""
+        g = vertex_scaling_graph(4)
+        inst = MinVertexCover(g)
+        assert inst.nck_constraint_count() == g.number_of_edges() + g.number_of_nodes()
+        assert inst.nonsymmetric_constraint_count() == 2
+
+    def test_qubo_terms_match_paper_formula(self):
+        """The paper counts 3|E| + |V| term *contributions* (one pair and
+        two linear per edge, one linear per vertex); after accumulation
+        the distinct terms are |E| quadratic + |V| linear."""
+        g = vertex_scaling_graph(4)
+        inst = MinVertexCover(g)
+        assert inst.handmade_qubo_terms() == g.number_of_edges() + g.number_of_nodes()
+
+    def test_generated_equals_handmade_structure(self):
+        """§VI-B: generated and handcrafted QUBOs agree for this problem."""
+        inst = MinVertexCover(vertex_scaling_graph(3))
+        assert inst.generated_qubo_terms() == inst.handmade_qubo_terms()
+
+
+class TestMaxCut:
+    def test_soft_only_encoding(self):
+        inst = MaxCut(vertex_scaling_graph(3))
+        env = inst.build_env()
+        assert not env.hard_constraints
+        assert len(env.soft_constraints) == inst.graph.number_of_edges()
+
+    def test_solution_is_optimal_cut(self):
+        inst = MaxCut(vertex_scaling_graph(2))
+        sol = inst.build_env().solve()
+        assert inst.cut_size(sol.assignment) == inst.optimal_cut_size()
+
+    def test_indicator_encoding_agrees(self):
+        inst = MaxCut(vertex_scaling_graph(2))
+        sol = inst.build_env_indicator().solve()
+        assert inst.cut_size(sol.assignment) == inst.optimal_cut_size()
+
+    def test_indicator_encoding_larger(self):
+        """The paper: indicator variables 'add many unnecessary variables'."""
+        inst = MaxCut(vertex_scaling_graph(3))
+        assert (
+            inst.build_env_indicator().num_variables > inst.build_env().num_variables
+        )
+
+    def test_handmade_qubo_optimum(self):
+        inst = MaxCut(vertex_scaling_graph(2))
+        e, a = ExactQUBOSolver().solve(inst.handmade_qubo())
+        assignment = {k: bool(v) for k, v in a.items()}
+        assert inst.cut_size(assignment) == inst.optimal_cut_size()
+
+    def test_single_symmetry_class(self):
+        assert MaxCut(vertex_scaling_graph(3)).nonsymmetric_constraint_count() == 1
+
+
+class TestMapColoring:
+    def test_valid_coloring_found(self):
+        inst = MapColoring(vertex_scaling_graph(3), 3)
+        sol = inst.build_env().solve()
+        assert inst.verify(sol.assignment)
+
+    def test_uncolorable_detected(self):
+        """K4 is not 3-colorable."""
+        import networkx as nx
+
+        inst = MapColoring(nx.complete_graph(4), 3)
+        assert not inst.is_colorable()
+
+    def test_constraint_count_formula(self):
+        """|V| + n|E| constraints (Table I)."""
+        g = vertex_scaling_graph(3)
+        inst = MapColoring(g, 3)
+        expected = g.number_of_nodes() + 3 * g.number_of_edges()
+        assert inst.nck_constraint_count() == expected
+
+    def test_handmade_qubo_ground_is_valid_coloring(self):
+        inst = MapColoring(vertex_scaling_graph(2), 3)
+        e, a = ExactQUBOSolver().solve(inst.handmade_qubo())
+        assert e == pytest.approx(0.0)
+        assert inst.verify({k: bool(v) for k, v in a.items()})
+
+    def test_generated_matches_handmade(self):
+        inst = MapColoring(vertex_scaling_graph(2), 3)
+        assert inst.generated_qubo_terms() == inst.handmade_qubo_terms()
+
+
+class TestCliqueCover:
+    def test_edge_study_instance_coverable(self):
+        inst = CliqueCover(edge_scaling_graph(18), 4)
+        sol = inst.build_env().solve()
+        assert inst.verify(sol.assignment)
+
+    def test_more_edges_fewer_constraints(self):
+        """The paper's inverse relationship for clique cover."""
+        sparse = CliqueCover(edge_scaling_graph(18), 4)
+        dense = CliqueCover(edge_scaling_graph(48), 4)
+        assert dense.nck_constraint_count() < sparse.nck_constraint_count()
+
+    def test_constraint_count_formula(self):
+        """|V| + n(|V|(|V|−1)/2 − |E|)."""
+        g = edge_scaling_graph(24)
+        inst = CliqueCover(g, 4)
+        absent = 12 * 11 // 2 - 24
+        assert inst.nck_constraint_count() == 12 + 4 * absent
+
+    def test_invalid_cover_rejected(self):
+        inst = CliqueCover(edge_scaling_graph(18), 4)
+        # All vertices in clique 0: only valid if the graph were complete.
+        assignment = {
+            inst.var(v, k): (k == 0) for v in inst.graph.nodes for k in range(4)
+        }
+        assert not inst.verify(assignment)
+
+
+class TestExactCover:
+    def test_random_instances_satisfiable(self, rng):
+        for _ in range(5):
+            inst = ExactCover.random_satisfiable(8, 10, rng)
+            sol = inst.build_env().solve()
+            assert inst.verify(sol.assignment)
+
+    def test_verify_rejects_double_cover(self):
+        inst = ExactCover(2, (frozenset({0, 1}), frozenset({1})))
+        assert inst.verify({"s000": True, "s001": False})
+        assert not inst.verify({"s000": True, "s001": True})
+
+    def test_uncovered_element_rejected_at_init(self):
+        with pytest.raises(ValueError):
+            ExactCover(3, (frozenset({0, 1}),))
+
+    def test_handmade_qubo_ground_is_exact_cover(self, rng):
+        inst = ExactCover.random_satisfiable(6, 7, rng)
+        e, a = ExactQUBOSolver().solve(inst.handmade_qubo())
+        assert e == pytest.approx(0.0)
+        assert inst.verify({k: bool(v) for k, v in a.items()})
+
+    def test_generated_matches_handmade(self, rng):
+        inst = ExactCover.random_satisfiable(6, 7, rng)
+        assert inst.generated_qubo_terms() == inst.handmade_qubo_terms()
+
+
+class TestMinSetCover:
+    def test_optimal_size_not_larger_than_exact_cover(self, rng):
+        ec = ExactCover.random_satisfiable(8, 10, rng)
+        msc = MinSetCover.from_exact_cover(ec)
+        sol = msc.build_env().solve()
+        assert msc.verify(sol.assignment)
+        # The hidden partition is a cover, so the optimum is ≤ its size.
+        assert msc.objective(sol.assignment) <= sum(
+            1 for _ in ec.subsets
+        )
+
+    def test_minimality(self):
+        # Elements {0,1,2}; subsets {0,1},{2},{0},{1},{2}: optimum 2.
+        msc = MinSetCover(
+            3,
+            (
+                frozenset({0, 1}),
+                frozenset({2}),
+                frozenset({0}),
+                frozenset({1}),
+                frozenset({2}),
+            ),
+        )
+        assert msc.optimal_cover_size() == 2
+
+    def test_handmade_qubo_ground_is_minimum_cover(self):
+        msc = MinSetCover(
+            3,
+            (frozenset({0, 1}), frozenset({2}), frozenset({0}), frozenset({1})),
+        )
+        e, a = ExactQUBOSolver().solve(msc.handmade_qubo())
+        chosen = {k: bool(v) for k, v in a.items() if k.startswith("s")}
+        assignment = {msc.var(i): chosen.get(msc.var(i), False) for i in range(4)}
+        assert msc.verify(assignment)
+        assert msc.objective(assignment) == 2
+
+
+class TestKSat:
+    def test_random_instances_satisfiable(self, rng):
+        for _ in range(5):
+            inst = KSat.random_3sat(6, 12, rng)
+            assert inst.is_satisfiable()
+            sol = inst.build_env().solve()
+            assert inst.verify(sol.assignment)
+
+    def test_repeated_encoding_equivalent(self, rng):
+        inst = KSat.random_3sat(5, 8, rng)
+        sol = inst.build_env_repeated().solve()
+        assert inst.verify(sol.assignment)
+
+    def test_dual_rail_constraint_count(self):
+        """n′ + m constraints where n′ = variables appearing negated."""
+        inst = KSat.random_3sat(6, 10, np.random.default_rng(0))
+        negated = {
+            v for clause in inst.clauses for (v, pos) in clause if not pos
+        }
+        assert inst.nck_constraint_count() == len(negated) + len(inst.clauses)
+
+    def test_repeated_encoding_fewer_constraints(self):
+        inst = KSat.random_3sat(6, 10, np.random.default_rng(1))
+        dual = inst.build_env().num_constraints
+        repeated = inst.build_env_repeated().num_constraints
+        assert repeated == len(inst.clauses) <= dual
+
+    def test_unsat_detected(self):
+        # (x) ∧ (¬x) via 1-literal clauses
+        inst = KSat(1, (((0, True),), ((0, False),)))
+        assert not inst.is_satisfiable()
+
+    def test_clause_validation(self):
+        with pytest.raises(ValueError):
+            KSat(2, (((0, True), (0, False)),))  # repeated variable
+        with pytest.raises(ValueError):
+            KSat(1, (((5, True),),))  # out of range
+
+    def test_mis_qubo_detects_satisfiability(self):
+        """MIS reduction: ground energy −m iff satisfiable."""
+        inst = KSat.random_3sat(4, 5, np.random.default_rng(2))
+        e, _ = ExactQUBOSolver().solve(inst.handmade_qubo())
+        assert e == pytest.approx(-len(inst.clauses))

@@ -1,0 +1,103 @@
+"""Unit tests for the scaling-study graph families."""
+
+import networkx as nx
+import pytest
+
+from repro.problems import circulant_graph, edge_scaling_graph, vertex_scaling_graph
+from repro.problems.graphs import chain_triangle_maxcut, vertex_names
+
+
+class TestVertexScaling:
+    def test_sizes(self):
+        """k triangles: 3k vertices, 3k + 2(k−1) edges."""
+        for k in range(1, 8):
+            g = vertex_scaling_graph(k)
+            assert g.number_of_nodes() == 3 * k
+            assert g.number_of_edges() == 3 * k + 2 * (k - 1)
+
+    def test_33_vertices_waypoint(self):
+        """The paper's fine-grained study tops out at 33 vertices."""
+        g = vertex_scaling_graph(11)
+        assert g.number_of_nodes() == 33
+
+    def test_connected(self):
+        assert nx.is_connected(vertex_scaling_graph(5))
+
+    def test_triangles_present(self):
+        g = vertex_scaling_graph(3)
+        for i in range(3):
+            assert g.has_edge(3 * i, 3 * i + 1)
+            assert g.has_edge(3 * i, 3 * i + 2)
+            assert g.has_edge(3 * i + 1, 3 * i + 2)
+
+    def test_three_colorable(self):
+        g = vertex_scaling_graph(4)
+        coloring = nx.greedy_color(g, strategy="DSATUR")
+        assert max(coloring.values()) <= 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            vertex_scaling_graph(0)
+
+
+class TestEdgeScaling:
+    def test_starts_at_18(self):
+        g = edge_scaling_graph(18)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 18
+
+    def test_paper_waypoints(self):
+        for e in (18, 24, 31, 37, 44, 48, 55, 63):
+            assert edge_scaling_graph(e).number_of_edges() == e
+
+    def test_monotone_supergraphs(self):
+        """Growing edge counts only add edges (deterministic order)."""
+        g1 = edge_scaling_graph(24)
+        g2 = edge_scaling_graph(37)
+        assert set(g1.edges) <= set(g2.edges)
+
+    def test_base_cliques_always_present(self):
+        g = edge_scaling_graph(48)
+        for grp in range(4):
+            vs = [grp * 3, grp * 3 + 1, grp * 3 + 2]
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    assert g.has_edge(vs[i], vs[j])
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            edge_scaling_graph(10)
+        with pytest.raises(ValueError):
+            edge_scaling_graph(67)
+
+    def test_saturates_at_k12(self):
+        g = edge_scaling_graph(66)
+        assert g.number_of_edges() == 66
+
+
+class TestCirculant:
+    def test_degree(self):
+        g = circulant_graph(12, (1, 2))
+        degrees = set(dict(g.degree).values())
+        assert degrees == {4}
+
+    def test_size(self):
+        assert circulant_graph(30).number_of_nodes() == 30
+
+
+class TestHelpers:
+    def test_vertex_names_padded(self):
+        g = nx.path_graph(12)
+        names = vertex_names(g)
+        assert names[0] == "v00"
+        assert names[11] == "v11"
+
+    def test_chain_triangle_maxcut_values(self):
+        # Verified against brute force: 2 + 4(k-1)
+        assert chain_triangle_maxcut(1) == 2
+        assert chain_triangle_maxcut(2) == 6
+        assert chain_triangle_maxcut(5) == 18
+
+    def test_chain_triangle_maxcut_invalid(self):
+        with pytest.raises(ValueError):
+            chain_triangle_maxcut(0)

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compile import synthesize_constraint_qubo, verify_constraint_qubo
+from repro.core import Constraint, SelectionSet, VariableCollection, nck
+from repro.qubo import (
+    QUBO,
+    enumerate_assignments,
+    ising_to_qubo,
+    qubo_to_ising,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+var_names = st.sampled_from([f"v{i}" for i in range(6)])
+
+coeff = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def qubos(draw, max_vars=5):
+    n = draw(st.integers(min_value=1, max_value=max_vars))
+    names = [f"v{i}" for i in range(n)]
+    linear = {name: draw(coeff) for name in names if draw(st.booleans())}
+    quadratic = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                quadratic[(names[i], names[j])] = draw(coeff)
+    return QUBO(linear, quadratic, offset=draw(coeff))
+
+
+@st.composite
+def constraints(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    names = [f"v{i}" for i in range(n)]
+    # Multiplicities 1–2 to exercise repeated variables.
+    collection = []
+    for name in names:
+        collection.extend([name] * draw(st.integers(min_value=1, max_value=2)))
+    cardinality = len(collection)
+    selection = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=cardinality), min_size=1, max_size=cardinality + 1
+        )
+    )
+    return nck(collection, selection)
+
+
+# ---------------------------------------------------------------------------
+# QUBO algebra
+# ---------------------------------------------------------------------------
+
+
+class TestQUBOAlgebra:
+    @given(qubos(), qubos())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_is_pointwise(self, q1, q2):
+        total = q1 + q2
+        variables = sorted(set(q1.variables) | set(q2.variables)) or ["v0"]
+        X = enumerate_assignments(len(variables))
+        e = total.energies(X, variables)
+        e1 = q1.energies(X, variables)
+        e2 = q2.energies(X, variables)
+        assert np.allclose(e, e1 + e2, atol=1e-8)
+
+    @given(qubos(), st.floats(min_value=0.1, max_value=50, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_positive_scaling_preserves_ordering(self, q, factor):
+        variables = q.variables
+        if not variables:
+            return
+        X = enumerate_assignments(len(variables))
+        e = q.energies(X, variables)
+        es = (q * factor).energies(X, variables)
+        # Scaling is exact pointwise, hence order-preserving (up to float
+        # ties, so compare the scaled energies rather than argsort ranks).
+        assert np.allclose(es, e * factor, atol=1e-8)
+        assert np.isclose(es.min(), e.min() * factor, atol=1e-8)
+
+    @given(qubos())
+    @settings(max_examples=40, deadline=None)
+    def test_ising_roundtrip_preserves_energy(self, q):
+        variables = q.variables
+        if not variables:
+            return
+        back = ising_to_qubo(qubo_to_ising(q))
+        X = enumerate_assignments(len(variables))
+        assert np.allclose(q.energies(X, variables), back.energies(X, variables), atol=1e-8)
+
+    @given(qubos())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_energy_matches_scalar(self, q):
+        variables = q.variables
+        if not variables:
+            return
+        X = enumerate_assignments(len(variables))
+        batch = q.energies(X, variables)
+        for row, e in zip(X, batch):
+            assert abs(q.energy(dict(zip(variables, map(int, row)))) - e) < 1e-8
+
+
+# ---------------------------------------------------------------------------
+# Core types
+# ---------------------------------------------------------------------------
+
+
+class TestCollectionInvariants:
+    @given(st.lists(var_names, min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_cardinality_equals_length(self, names):
+        coll = VariableCollection(names)
+        assert coll.cardinality == len(names)
+        assert coll.cardinality == sum(coll.multiplicities)
+
+    @given(st.lists(var_names, min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_order_insensitive(self, names):
+        assert VariableCollection(names) == VariableCollection(list(reversed(names)))
+
+    @given(st.lists(var_names, min_size=1, max_size=6), st.dictionaries(var_names, st.booleans()))
+    @settings(max_examples=50)
+    def test_true_count_bounds(self, names, assignment):
+        coll = VariableCollection(names)
+        full = {name: assignment.get(name, False) for name in (v.name for v in coll.unique)}
+        count = coll.true_count(full)
+        assert 0 <= count <= coll.cardinality
+
+
+class TestConstraintInvariants:
+    @given(constraints())
+    @settings(max_examples=60, deadline=None)
+    def test_trivial_xor_unsat_consistency(self, c):
+        assert not (c.is_trivial() and c.is_unsatisfiable())
+
+    @given(constraints())
+    @settings(max_examples=60, deadline=None)
+    def test_satisfaction_matches_definition(self, c):
+        """Definition 3, against direct counting over all assignments."""
+        unique = [v.name for v in c.collection.unique]
+        for row in enumerate_assignments(len(unique)):
+            assignment = dict(zip(unique, map(bool, row)))
+            expected = c.collection.true_count(assignment) in c.selection
+            assert c.is_satisfied(assignment) == expected
+
+
+# ---------------------------------------------------------------------------
+# Compiler spec (the central invariant of the whole system)
+# ---------------------------------------------------------------------------
+
+
+class TestCompilerSpec:
+    @given(constraints())
+    @settings(max_examples=30, deadline=None)
+    def test_synthesized_qubo_meets_validity_spec(self, c):
+        if c.is_unsatisfiable():
+            return
+        result = synthesize_constraint_qubo(c)
+        assert verify_constraint_qubo(c, result)

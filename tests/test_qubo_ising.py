@@ -1,0 +1,107 @@
+"""Unit tests for QUBO ⇄ Ising conversion."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import (
+    IsingModel,
+    QUBO,
+    bits_to_spins,
+    enumerate_assignments,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_bits,
+)
+
+
+def random_qubo(rng, n=5) -> QUBO:
+    return QUBO(
+        {f"v{i}": float(rng.normal()) for i in range(n)},
+        {
+            (f"v{i}", f"v{j}"): float(rng.normal())
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.7
+        },
+        offset=float(rng.normal()),
+    )
+
+
+class TestConversion:
+    def test_energy_preserved_qubo_to_ising(self):
+        rng = np.random.default_rng(1)
+        q = random_qubo(rng)
+        ising = qubo_to_ising(q)
+        variables = q.variables
+        for bits in enumerate_assignments(len(variables)):
+            x = dict(zip(variables, map(int, bits)))
+            s = {v: int(1 - 2 * b) for v, b in x.items()}
+            assert ising.energy(s) == pytest.approx(q.energy(x), abs=1e-9)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        q = random_qubo(rng)
+        back = ising_to_qubo(qubo_to_ising(q))
+        assert back == q
+
+    def test_spin_bit_maps_inverse(self):
+        bits = np.array([0, 1, 1, 0])
+        assert np.array_equal(spins_to_bits(bits_to_spins(bits)), bits)
+        spins = np.array([1, -1, 1])
+        assert np.array_equal(bits_to_spins(spins_to_bits(spins)), spins)
+
+    def test_convention_bit1_is_spin_down(self):
+        assert bits_to_spins(np.array([1]))[0] == -1
+        assert spins_to_bits(np.array([-1]))[0] == 1
+
+
+class TestIsingModel:
+    def test_diagonal_coupler_becomes_offset(self):
+        """s·s = 1 for spins."""
+        m = IsingModel(J={("a", "a"): 2.0})
+        assert m.offset == 2.0
+        assert m.J == {}
+
+    def test_coupler_canonicalization(self):
+        m = IsingModel(J={("b", "a"): 1.0, ("a", "b"): 1.0})
+        assert m.J == {("a", "b"): 2.0}
+
+    def test_energy(self):
+        m = IsingModel(h={"a": 1.0}, J={("a", "b"): -2.0}, offset=0.5)
+        assert m.energy({"a": 1, "b": 1}) == pytest.approx(-0.5)
+        assert m.energy({"a": -1, "b": 1}) == pytest.approx(1.5)
+
+    def test_energies_batch_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        m = qubo_to_ising(random_qubo(rng, 4))
+        order = m.variables
+        spins = 1 - 2 * enumerate_assignments(len(order))
+        batch = m.energies(spins, order)
+        for row, e in zip(spins, batch):
+            assert e == pytest.approx(m.energy(dict(zip(order, map(int, row)))))
+
+    def test_to_arrays_upper_triangular(self):
+        m = IsingModel(h={"a": 1.0, "b": 2.0}, J={("b", "a"): 3.0})
+        h, J = m.to_arrays(("a", "b"))
+        assert h.tolist() == [1.0, 2.0]
+        assert J[0, 1] == 3.0 and J[1, 0] == 0.0
+
+    def test_max_abs_coefficient(self):
+        m = IsingModel(h={"a": -4.0}, J={("a", "b"): 2.0})
+        assert m.max_abs_coefficient() == 4.0
+
+    def test_ground_state_preserved(self):
+        """argmin is identical across the transformation."""
+        rng = np.random.default_rng(4)
+        q = random_qubo(rng, 5)
+        ising = qubo_to_ising(q)
+        _, qubo_states = q.ground_states()
+        variables = q.variables
+        spins = 1 - 2 * enumerate_assignments(len(variables))
+        e = ising.energies(spins, variables)
+        rows = np.flatnonzero(np.isclose(e, e.min(), atol=1e-9))
+        ising_states = [
+            dict(zip(variables, ((1 - s) // 2 for s in spins[r]))) for r in rows
+        ]
+        key = lambda st: tuple(sorted((k, int(v)) for k, v in st.items()))
+        assert {key(s) for s in qubo_states} == {key(s) for s in ising_states}

@@ -1,0 +1,74 @@
+"""Unit tests for dense-matrix QUBO views."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QUBO, enumerate_assignments, from_dense, to_dense
+
+
+class TestToDense:
+    def test_linear_on_diagonal(self):
+        q = QUBO({"a": 2.0, "b": -1.0})
+        Q, offset = to_dense(q, ("a", "b"))
+        assert Q[0, 0] == 2.0 and Q[1, 1] == -1.0
+        assert offset == 0.0
+
+    def test_quadratic_upper_triangle(self):
+        q = QUBO(quadratic={("a", "b"): 3.0})
+        Q, _ = to_dense(q, ("a", "b"))
+        assert Q[0, 1] == 3.0 and Q[1, 0] == 0.0
+
+    def test_order_respected(self):
+        q = QUBO({"a": 1.0, "b": 2.0})
+        Q, _ = to_dense(q, ("b", "a"))
+        assert Q[0, 0] == 2.0
+
+    def test_missing_variable_rejected(self):
+        q = QUBO({"a": 1.0, "b": 1.0})
+        with pytest.raises(ValueError):
+            to_dense(q, ("a",))
+
+    def test_extra_order_variables_ok(self):
+        q = QUBO({"a": 1.0})
+        Q, _ = to_dense(q, ("a", "pad"))
+        assert Q.shape == (2, 2)
+
+
+class TestFromDense:
+    def test_roundtrip(self):
+        q = QUBO({"a": 1.0}, {("a", "b"): -2.0}, offset=0.5)
+        Q, offset = to_dense(q, ("a", "b"))
+        back = from_dense(Q, ("a", "b"), offset)
+        assert back == q
+
+    def test_symmetric_input_accumulates(self):
+        Q = np.array([[0.0, 1.0], [1.0, 0.0]])
+        q = from_dense(Q, ("a", "b"))
+        assert q.quadratic == {("a", "b"): 2.0}
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            from_dense(np.zeros((2, 3)), ("a", "b"))
+        with pytest.raises(ValueError):
+            from_dense(np.zeros((2, 2)), ("a",))
+
+
+class TestEnumerateAssignments:
+    def test_shape_and_range(self):
+        X = enumerate_assignments(3)
+        assert X.shape == (8, 3)
+        assert set(np.unique(X)) <= {0, 1}
+
+    def test_lexicographic_rows(self):
+        X = enumerate_assignments(2)
+        assert X.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+    def test_zero_variables(self):
+        X = enumerate_assignments(0)
+        assert X.shape == (1, 0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            enumerate_assignments(-1)
+        with pytest.raises(ValueError):
+            enumerate_assignments(25)

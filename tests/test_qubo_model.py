@@ -1,0 +1,159 @@
+"""Unit tests for the QUBO representation and its algebra."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QUBO, enumerate_assignments
+
+
+class TestConstruction:
+    def test_linear_accumulates(self):
+        q = QUBO()
+        q.add_linear("a", 1.0)
+        q.add_linear("a", 2.0)
+        assert q.linear["a"] == 3.0
+
+    def test_quadratic_canonical_order(self):
+        q = QUBO()
+        q.add_quadratic("b", "a", 1.0)
+        q.add_quadratic("a", "b", 2.0)
+        assert q.quadratic == {("a", "b"): 3.0}
+
+    def test_self_pair_collapses_to_linear(self):
+        """x·x = x for binaries."""
+        q = QUBO()
+        q.add_quadratic("a", "a", 5.0)
+        assert q.linear == {"a": 5.0}
+        assert q.quadratic == {}
+
+    def test_init_with_dicts(self):
+        q = QUBO({"a": 1.0}, {("b", "a"): 2.0}, offset=3.0)
+        assert q.linear["a"] == 1.0
+        assert q.quadratic == {("a", "b"): 2.0}
+        assert q.offset == 3.0
+
+
+class TestAlgebra:
+    def test_addition_composes_energies(self):
+        """Compositionality: (q1 + q2)(x) == q1(x) + q2(x) (Section V)."""
+        q1 = QUBO({"a": 1.0}, {("a", "b"): -2.0}, offset=0.5)
+        q2 = QUBO({"b": -1.0}, {("a", "b"): 1.0}, offset=1.0)
+        total = q1 + q2
+        for a in (0, 1):
+            for b in (0, 1):
+                x = {"a": a, "b": b}
+                assert total.energy(x) == pytest.approx(q1.energy(x) + q2.energy(x))
+
+    def test_inplace_add(self):
+        q1 = QUBO({"a": 1.0})
+        q1 += QUBO({"a": 2.0, "b": 1.0})
+        assert q1.linear == {"a": 3.0, "b": 1.0}
+
+    def test_positive_scaling_preserves_argmin(self):
+        q = QUBO({"a": -1.0, "b": 2.0}, {("a", "b"): 3.0})
+        scaled = 4.0 * q
+        _, states1 = q.ground_states()
+        _, states2 = scaled.ground_states()
+        assert states1 == states2
+
+    def test_nonpositive_scale_rejected(self):
+        q = QUBO({"a": 1.0})
+        with pytest.raises(ValueError):
+            q * 0.0
+        with pytest.raises(ValueError):
+            q * -1.0
+
+    def test_scale_multiplies_all_parts(self):
+        q = QUBO({"a": 1.0}, {("a", "b"): 2.0}, offset=3.0) * 2.0
+        assert q.linear["a"] == 2.0
+        assert q.quadratic[("a", "b")] == 4.0
+        assert q.offset == 6.0
+
+
+class TestInspection:
+    def test_variables_sorted(self):
+        q = QUBO({"z": 1.0}, {("m", "a"): 1.0})
+        assert q.variables == ("a", "m", "z")
+
+    def test_num_terms_ignores_zeros(self):
+        q = QUBO({"a": 1.0, "b": 0.0}, {("a", "b"): 1e-15})
+        assert q.num_terms() == 1
+
+    def test_max_abs_coefficient(self):
+        q = QUBO({"a": -3.0}, {("a", "b"): 2.0})
+        assert q.max_abs_coefficient() == 3.0
+
+    def test_pruned(self):
+        q = QUBO({"a": 0.0, "b": 1.0}, {("a", "b"): 1e-16})
+        p = q.pruned()
+        assert p.linear == {"b": 1.0}
+        assert p.quadratic == {}
+
+    def test_equality_after_pruning(self):
+        assert QUBO({"a": 1.0, "b": 0.0}) == QUBO({"a": 1.0})
+
+
+class TestEvaluation:
+    def test_energy_scalar(self):
+        q = QUBO({"a": 1.0, "b": -2.0}, {("a", "b"): 4.0}, offset=0.5)
+        assert q.energy({"a": 1, "b": 1}) == pytest.approx(3.5)
+        assert q.energy({"a": 0, "b": 1}) == pytest.approx(-1.5)
+
+    def test_energies_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        q = QUBO(
+            {f"v{i}": float(rng.normal()) for i in range(5)},
+            {(f"v{i}", f"v{j}"): float(rng.normal()) for i in range(5) for j in range(i + 1, 5)},
+            offset=1.5,
+        )
+        X = enumerate_assignments(5)
+        batch = q.energies(X)
+        for row, e in zip(X, batch):
+            point = q.energy(dict(zip(q.variables, row)))
+            assert e == pytest.approx(point)
+
+    def test_energies_respects_order(self):
+        q = QUBO({"a": 1.0, "b": 10.0})
+        e = q.energies(np.array([[1, 0]]), order=("b", "a"))
+        assert e[0] == pytest.approx(10.0)
+
+    def test_ground_states_all_minima(self):
+        # a XOR-ish QUBO with two ground states
+        q = QUBO({"a": -1.0, "b": -1.0}, {("a", "b"): 2.0})
+        energy, states = q.ground_states()
+        assert energy == pytest.approx(-1.0)
+        assert {tuple(sorted(s.items())) for s in states} == {
+            (("a", 0), ("b", 1)),
+            (("a", 1), ("b", 0)),
+        }
+
+    def test_ground_states_empty(self):
+        energy, states = QUBO(offset=2.0).ground_states()
+        assert energy == 2.0
+        assert states == [{}]
+
+    def test_ground_states_too_large(self):
+        q = QUBO({f"v{i}": 1.0 for i in range(30)})
+        with pytest.raises(ValueError):
+            q.ground_states()
+
+
+class TestRelabel:
+    def test_relabel_simple(self):
+        q = QUBO({"a": 1.0}, {("a", "b"): 2.0})
+        r = q.relabeled({"a": "x"})
+        assert r.linear == {"x": 1.0}
+        assert r.quadratic == {("b", "x"): 2.0}
+
+    def test_relabel_merges_collisions(self):
+        """Two variables mapping to one target accumulate (repetition)."""
+        q = QUBO({"a": 1.0, "b": 2.0})
+        r = q.relabeled({"a": "t", "b": "t"})
+        assert r.linear == {"t": 3.0}
+
+    def test_relabel_pair_collapse(self):
+        q = QUBO(quadratic={("a", "b"): 3.0})
+        r = q.relabeled({"a": "t", "b": "t"})
+        # t·t = t
+        assert r.linear == {"t": 3.0}
+        assert r.quadratic == {}
