@@ -1,0 +1,24 @@
+# Convenience targets; everything honors an activated virtualenv.
+# PYTHONPATH=src keeps the targets usable without an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test docs-check lint-docstrings bench trace-table1 all-checks
+
+test:            ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+docs-check:      ## execute every runnable code block in README.md and docs/
+	$(PYTHON) -m pytest tests/test_docs_examples.py -q
+
+lint-docstrings: ## docstring presence + parameter-coverage lint
+	$(PYTHON) -m pytest tests/test_docstrings.py -q
+
+bench:           ## regenerate every table & figure
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+trace-table1:    ## smoke-run the telemetry pipeline end to end
+	$(PYTHON) -m repro trace table1
+
+all-checks: test docs-check

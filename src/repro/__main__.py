@@ -8,15 +8,40 @@ Usage::
     python -m repro timing
     python -m repro report [-o report.md]
     python -m repro all [--full]
+    python -m repro trace <artifact>      # run with telemetry + report
+    python -m repro table1 --telemetry    # same, flag form
 
 Each subcommand prints the measured rows/series of one paper artifact
 (the same output the benchmark harness produces, without pytest).
+
+With ``trace`` (or ``--telemetry``, or ``REPRO_TELEMETRY=1`` in the
+environment) the run is instrumented: every pipeline stage records
+spans and metrics, and a per-stage telemetry report — compile-cache hit
+rate, embedding attempts, anneal sweep throughput, QAOA iterations,
+span timings — is printed after the artifact output.
+``--telemetry-out FILE`` additionally dumps the raw events as JSONL
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from . import telemetry
+
+ARTIFACTS = [
+    "table1",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "timing",
+    "report",
+    "all",
+]
 
 
 def _table1(args) -> None:
@@ -120,18 +145,47 @@ def _timing(args) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the requested artifact(s), report telemetry.
+
+    Returns the process exit code (0 on success).
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("artifact", choices=[
-        "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "timing",
-        "report", "all",
-    ])
+    parser.add_argument("artifact", choices=ARTIFACTS + ["trace"])
+    parser.add_argument(
+        "traced",
+        nargs="?",
+        choices=ARTIFACTS,
+        help="the artifact to run under tracing (required with 'trace')",
+    )
     parser.add_argument("--full", action="store_true", help="full-scale sweeps")
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("-o", "--output", default=None, help="report output path")
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record pipeline telemetry and print the per-stage report",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE",
+        help="also dump raw telemetry events as JSON lines to FILE",
+    )
     args = parser.parse_args(argv)
+
+    artifact = args.artifact
+    if artifact == "trace":
+        if args.traced is None:
+            parser.error("'trace' requires the artifact to run, e.g. 'trace table1'")
+        artifact = args.traced
+    elif args.traced is not None:
+        parser.error(f"unexpected extra argument {args.traced!r}")
+
+    if (args.artifact == "trace" or args.telemetry or args.telemetry_out) and not telemetry.enabled():
+        telemetry.enable()
 
     dispatch = {
         "table1": lambda: _table1(args),
@@ -144,14 +198,26 @@ def main(argv: list[str] | None = None) -> int:
         "fig12": lambda: _fig12(args),
         "timing": lambda: _timing(args),
     }
-    if args.artifact == "all":
-        for name, fn in dispatch.items():
+
+    def run_one(name: str) -> None:
+        with telemetry.span(f"experiments.{name}"):
+            dispatch[name]()
+
+    if artifact == "all":
+        for name in dispatch:
             if name == "report":
                 continue
             print(f"\n{'=' * 74}\n{name.upper()}\n{'=' * 74}")
-            fn()
+            run_one(name)
     else:
-        dispatch[args.artifact]()
+        run_one(artifact)
+
+    if telemetry.enabled():
+        print()
+        print(telemetry.render_report())
+        if args.telemetry_out:
+            telemetry.write_jsonl(args.telemetry_out)
+            print(f"telemetry events written to {args.telemetry_out}")
     return 0
 
 

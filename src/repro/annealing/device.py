@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 import networkx as nx
 import numpy as np
 
+from .. import telemetry
 from ..compile.program import CompiledProgram
 from ..core.solution import SampleSet, Solution
 from ..qubo.ising import IsingModel, qubo_to_ising, spins_to_bits
@@ -110,6 +111,7 @@ class AnnealingDeviceProfile:
 
     @property
     def num_qubits(self) -> int:
+        """Physical qubit count of the topology."""
         return self.topology.number_of_nodes()
 
 
@@ -124,6 +126,26 @@ class AnnealingDevice:
         postprocess_sweeps: int = 2,
         num_spin_reversal_transforms: int = 0,
     ) -> None:
+        """Configure the device.
+
+        Parameters
+        ----------
+        profile:
+            Hardware profile (topology + noise + timing); defaults to the
+            Advantage-4.1 stand-in.
+        schedule:
+            Anneal schedule override (inverse-temperature ramp + sweeps);
+            defaults to the sampler's standard schedule.
+        chain_strength:
+            Ferromagnetic chain coupling; ``None`` uses the
+            uniform-torque-compensation heuristic per job.
+        postprocess_sweeps:
+            Single-flip descent sweeps on unembedded samples, mirroring
+            Ocean's optional classical post-processing (0 = off).
+        num_spin_reversal_transforms:
+            Gauge re-programmings the reads are split across, Ocean's
+            mitigation for additive ICE bias (0 = off).
+        """
         self.profile = profile or AnnealingDeviceProfile.advantage41()
         self.sampler = SimulatedAnnealingSampler(schedule)
         self._custom_schedule = schedule is not None
@@ -138,6 +160,7 @@ class AnnealingDevice:
 
     @property
     def name(self) -> str:
+        """The profile's device name (stamped on returned solutions)."""
         return self.profile.name
 
     # ------------------------------------------------------------------
@@ -156,11 +179,32 @@ class AnnealingDevice:
     ) -> SampleSet:
         """Run one job (``num_reads`` samples) for ``env``'s program.
 
-        ``program``/``embedding`` may be supplied to reuse work across
-        repeated jobs on the same problem (as the scaling studies do).
+        ``rng`` makes the run reproducible; ``num_reads`` defaults to the
+        profile's job size.  A precompiled ``program`` and/or ``embedding``
+        may be supplied to reuse work across repeated jobs on the same
+        problem (as the scaling studies do); remaining keyword arguments
+        flow to :meth:`Env.to_qubo` when compiling here.
         """
         rng = rng or np.random.default_rng()
         num_reads = num_reads or self.profile.default_num_reads
+        with telemetry.span(
+            "anneal.job", device=self.name, num_reads=num_reads
+        ) as tspan:
+            return self._sample(
+                env, num_reads, rng, program, embedding, tspan, compile_kwargs
+            )
+
+    def _sample(
+        self,
+        env: "Env",
+        num_reads: int,
+        rng: np.random.Generator,
+        program: CompiledProgram | None,
+        embedding: Embedding | None,
+        tspan,
+        compile_kwargs: dict,
+    ) -> SampleSet:
+        """The job pipeline behind :meth:`sample` (runs inside its span)."""
         if program is None:
             program = env.to_qubo(**compile_kwargs)
         logical = qubo_to_ising(program.qubo)
@@ -256,6 +300,14 @@ class AnnealingDevice:
                     backend=self.name,
                 )
             )
+        telemetry.count("anneal.jobs")
+        telemetry.count("anneal.broken_chains", broken)
+        telemetry.gauge("anneal.physical_qubits", embedding.num_physical_qubits)
+        tspan.set(
+            physical_qubits=embedding.num_physical_qubits,
+            broken_chains=broken,
+            logical_variables=len(logical_vars),
+        )
         return SampleSet(
             solutions=solutions,
             backend=self.name,

@@ -31,6 +31,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from .. import telemetry
 from ..core.types import NckError
 
 
@@ -132,12 +133,14 @@ def find_embedding(
         router = _Router(target)
         last_error: Exception | None = None
         for _attempt in range(max_attempts):
+            telemetry.count("anneal.embed.attempts")
             try:
                 chains = router.embed(source, rng, max_sweeps)
                 emb = Embedding(chains=chains)
                 emb.validate(source, target)
                 return emb
             except EmbeddingError as exc:
+                telemetry.count("anneal.embed.restarts")
                 last_error = exc
         raise EmbeddingError(
             f"no embedding found in {max_attempts} attempts: {last_error}"
@@ -146,18 +149,33 @@ def find_embedding(
     def try_clique() -> Embedding:
         from .clique_embedding import clique_embedding
 
+        telemetry.count("anneal.embed.attempts")
         return clique_embedding(source, target)
 
     first, second = (try_clique, try_router) if dense else (try_router, try_clique)
-    try:
-        return first()
-    except EmbeddingError as primary:
+    with telemetry.span(
+        "anneal.embed",
+        variables=source.number_of_nodes(),
+        edges=source.number_of_edges(),
+        strategy="clique-first" if dense else "router-first",
+    ) as sp:
         try:
-            return second()
-        except EmbeddingError as fallback:
-            raise EmbeddingError(
-                f"both strategies failed: {primary}; fallback: {fallback}"
-            ) from fallback
+            embedding = first()
+        except EmbeddingError as primary:
+            try:
+                embedding = second()
+            except EmbeddingError as fallback:
+                telemetry.count("anneal.embed.failures")
+                raise EmbeddingError(
+                    f"both strategies failed: {primary}; fallback: {fallback}"
+                ) from fallback
+        for chain in embedding.chains.values():
+            telemetry.observe("anneal.embed.chain_length", len(chain))
+        sp.set(
+            physical_qubits=embedding.num_physical_qubits,
+            max_chain_length=embedding.max_chain_length,
+        )
+        return embedding
 
 
 class _Router:

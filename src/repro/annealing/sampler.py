@@ -21,11 +21,13 @@ Implementation notes (HPC-guide idioms):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..qubo.ising import IsingModel
 
 
@@ -103,6 +105,7 @@ class SimulatedAnnealingSampler:
         S = spins.astype(np.float64)
 
         betas = (schedule or self.schedule).betas()
+        t0 = time.perf_counter()
         for beta in betas:
             for cls in color_classes:
                 # Local field: dE(flip i) = -2 s_i (h_i + sum_j J_ij s_j)
@@ -113,6 +116,13 @@ class SimulatedAnnealingSampler:
                     < np.exp(np.clip(-delta * beta, -700, 0))
                 )
                 S[:, cls] = np.where(accept, -S[:, cls], S[:, cls])
+        if telemetry.enabled():
+            elapsed = time.perf_counter() - t0
+            telemetry.count("anneal.sweeps", betas.size)
+            telemetry.count("anneal.reads", num_reads)
+            telemetry.observe("anneal.sweep_seconds", elapsed)
+            if elapsed > 0.0:
+                telemetry.observe("anneal.sweeps_per_second", betas.size / elapsed)
 
         energies = model.energies(S, order)
         return SampleResult(spins=S.astype(np.int8), energies=energies, variables=order)

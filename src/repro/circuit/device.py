@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 import networkx as nx
 import numpy as np
 
+from .. import telemetry
 from ..compile.program import CompiledProgram
 from ..core.solution import SampleSet, Solution
 from ..qubo.ising import IsingModel, qubo_to_ising
@@ -81,6 +82,7 @@ class CircuitDeviceProfile:
 
     @property
     def num_qubits(self) -> int:
+        """Physical qubit count of the coupling map."""
         return self.coupling.number_of_nodes()
 
 
@@ -93,12 +95,25 @@ class CircuitDevice:
         qaoa_layers: int = 1,
         qaoa_maxiter: int = 30,
     ) -> None:
+        """Configure the device.
+
+        Parameters
+        ----------
+        profile:
+            Hardware profile (coupling map + noise + timing + shot count);
+            defaults to the ibmq_brooklyn stand-in.
+        qaoa_layers:
+            QAOA depth *p* (the paper uses 1).
+        qaoa_maxiter:
+            COBYLA iteration budget for the (γ, β) optimization.
+        """
         self.profile = profile or CircuitDeviceProfile.brooklyn()
         self.qaoa = QAOA(layers=qaoa_layers, maxiter=qaoa_maxiter)
         self.transpiler = Transpiler(self.profile.coupling, seed=0)
 
     @property
     def name(self) -> str:
+        """The profile's device name (stamped on returned solutions)."""
         return self.profile.name
 
     # ------------------------------------------------------------------
@@ -113,8 +128,25 @@ class CircuitDevice:
         program: CompiledProgram | None = None,
         **compile_kwargs,
     ) -> SampleSet:
-        """One QAOA execution; the sample set holds the single result."""
+        """One QAOA execution of ``env``; the set holds the single result.
+
+        ``rng`` makes the run reproducible; a precompiled ``program`` may
+        be supplied to skip compilation, and remaining keyword arguments
+        flow to :meth:`Env.to_qubo` otherwise.
+        """
         rng = rng or np.random.default_rng()
+        with telemetry.span("circuit.job", device=self.name) as tspan:
+            return self._sample(env, rng, program, tspan, compile_kwargs)
+
+    def _sample(
+        self,
+        env: "Env",
+        rng: np.random.Generator,
+        program: CompiledProgram | None,
+        tspan,
+        compile_kwargs: dict,
+    ) -> SampleSet:
+        """The execution pipeline behind :meth:`sample` (inside its span)."""
         if program is None:
             program = env.to_qubo(**compile_kwargs)
         model = qubo_to_ising(program.qubo)
@@ -130,10 +162,21 @@ class CircuitDevice:
 
         transpiled = self.transpile_qaoa(model, variables)
 
-        if n <= self.profile.exact_simulation_limit:
+        execution_model = (
+            "exact" if n <= self.profile.exact_simulation_limit else "structural"
+        )
+        if execution_model == "exact":
             bits, counts, num_jobs = self._run_exact(model, variables, transpiled, rng)
         else:
             bits, counts, num_jobs = self._run_structural(model, variables, transpiled, rng)
+
+        telemetry.count("circuit.jobs")
+        tspan.set(
+            execution_model=execution_model,
+            logical_qubits=n,
+            qubits_used=transpiled.physical_qubits_used,
+            depth=transpiled.depth,
+        )
 
         assignment = program.strip_ancillas(dict(zip(variables, map(int, bits))))
         energy = float(program.qubo.energies(bits[None, :], variables)[0])
@@ -151,9 +194,7 @@ class CircuitDevice:
                 "num_swaps": transpiled.num_swaps,
                 "two_qubit_gates": transpiled.circuit.num_two_qubit_gates(),
                 "fidelity": self.profile.noise.circuit_fidelity(transpiled.circuit),
-                "execution_model": "exact"
-                if n <= self.profile.exact_simulation_limit
-                else "structural",
+                "execution_model": execution_model,
             },
         )
 

@@ -23,12 +23,14 @@ hardware.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 from scipy.optimize import minimize
 
+from .. import telemetry
 from ..qubo.ising import IsingModel
 from .circuit import Circuit
 from .statevector import StatevectorSimulator
@@ -152,9 +154,10 @@ class QAOA:
         variables = model.variables
         diagonal = cost_diagonal(model, variables)
         evaluations = 0
+        statevector_seconds = 0.0
 
         def objective(params: np.ndarray) -> float:
-            nonlocal evaluations
+            nonlocal evaluations, statevector_seconds
             evaluations += 1
             circ = qaoa_circuit(
                 model,
@@ -163,38 +166,49 @@ class QAOA:
                 variables,
                 mixer=self.mixer,
             )
+            t0 = time.perf_counter()
             value = self.simulator.expectation_diagonal(circ, diagonal)
+            statevector_seconds += time.perf_counter() - t0
             if callback is not None:
                 callback(params, value)
             return value
 
-        best_res = None
-        for _start in range(self.multistart):
-            x0 = np.concatenate(
-                [
-                    rng.uniform(0.0, np.pi / 4, self.layers),  # gammas
-                    rng.uniform(np.pi / 8, 3 * np.pi / 8, self.layers),  # betas
-                ]
-            )
-            res = minimize(
-                objective,
-                x0,
-                method="COBYLA",
-                options={"maxiter": self.maxiter, "rhobeg": 0.3},
-            )
-            if best_res is None or res.fun < best_res.fun:
-                best_res = res
-        res = best_res
+        with telemetry.span(
+            "circuit.qaoa",
+            qubits=len(variables),
+            layers=self.layers,
+            multistart=self.multistart,
+        ) as tspan:
+            best_res = None
+            for _start in range(self.multistart):
+                x0 = np.concatenate(
+                    [
+                        rng.uniform(0.0, np.pi / 4, self.layers),  # gammas
+                        rng.uniform(np.pi / 8, 3 * np.pi / 8, self.layers),  # betas
+                    ]
+                )
+                res = minimize(
+                    objective,
+                    x0,
+                    method="COBYLA",
+                    options={"maxiter": self.maxiter, "rhobeg": 0.3},
+                )
+                if best_res is None or res.fun < best_res.fun:
+                    best_res = res
+            res = best_res
 
-        best_params = res.x
-        circ = qaoa_circuit(
-            model,
-            best_params[: self.layers],
-            best_params[self.layers :],
-            variables,
-            mixer=self.mixer,
-        )
-        counts = self.simulator.sample_counts(circ, shots=4000, rng=rng)
+            best_params = res.x
+            circ = qaoa_circuit(
+                model,
+                best_params[: self.layers],
+                best_params[self.layers :],
+                variables,
+                mixer=self.mixer,
+            )
+            counts = self.simulator.sample_counts(circ, shots=4000, rng=rng)
+            telemetry.count("circuit.qaoa.iterations", evaluations)
+            telemetry.observe("circuit.qaoa.statevector_seconds", statevector_seconds)
+            tspan.set(iterations=evaluations, statevector_seconds=statevector_seconds)
         best_state = min(counts, key=lambda s: diagonal[s])
         n = len(variables)
         best_bits = np.array(

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from .. import telemetry
 from .circuit import Circuit
 from .gates import Gate
 
@@ -72,8 +73,23 @@ class Transpiler:
                 f"{circuit.num_qubits} logical qubits exceed "
                 f"{self.num_physical_qubits} physical qubits"
             )
-        layout = self._initial_layout(circuit)
-        routed, final_layout, num_swaps = self._route(circuit, dict(layout))
+        with telemetry.span(
+            "circuit.transpile", logical_qubits=circuit.num_qubits
+        ) as sp:
+            layout = self._initial_layout(circuit)
+            routed, final_layout, num_swaps = self._route(circuit, dict(layout))
+            result = self._finish(routed, layout, final_layout, num_swaps)
+            telemetry.count("circuit.transpiles")
+            telemetry.count("circuit.swaps", num_swaps)
+            telemetry.observe("circuit.depth", result.depth)
+            telemetry.observe(
+                "circuit.two_qubit_gates", result.circuit.num_two_qubit_gates()
+            )
+            sp.set(depth=result.depth, num_swaps=num_swaps)
+            return result
+
+    def _finish(self, routed, layout, final_layout, num_swaps) -> TranspileResult:
+        """Decompose the routed circuit and package the result."""
         return TranspileResult(
             circuit=routed.decomposed(),
             initial_layout=layout,

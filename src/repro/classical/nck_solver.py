@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from .. import telemetry
 from ..core.solution import SampleSet, Solution
 from ..core.types import Constraint, UnsatisfiableError, Var
 
@@ -75,10 +76,11 @@ class ExactNckSolver:
     def __init__(self, node_limit: int = 50_000_000) -> None:
         self.node_limit = node_limit
         self.nodes_visited = 0
+        self.propagation_events = 0
 
     # ------------------------------------------------------------------
     def solve(self, env: "Env", **kwargs) -> Solution:
-        """Best assignment (all hard satisfied, max soft), else raise."""
+        """Best assignment of ``env`` (all hard satisfied, max soft), else raise."""
         return self.sample(env, **kwargs).best
 
     def sample(self, env: "Env", **kwargs) -> SampleSet:
@@ -108,6 +110,24 @@ class ExactNckSolver:
 
     # ------------------------------------------------------------------
     def _search(self, env: "Env") -> tuple[dict[str, bool] | None, int]:
+        """Run the branch-and-bound search inside a telemetry span.
+
+        Emits the ``classical.solve`` span and the ``classical.bnb.nodes``
+        / ``classical.bnb.propagations`` counters; the search itself lives
+        in :meth:`_search_impl`.
+        """
+        with telemetry.span(
+            "classical.solve",
+            variables=env.num_variables,
+            constraints=env.num_constraints,
+        ) as sp:
+            result = self._search_impl(env)
+            telemetry.count("classical.bnb.nodes", self.nodes_visited)
+            telemetry.count("classical.bnb.propagations", self.propagation_events)
+            sp.set(nodes=self.nodes_visited, propagations=self.propagation_events)
+            return result
+
+    def _search_impl(self, env: "Env") -> tuple[dict[str, bool] | None, int]:
         variables = list(env.variables)
         constraints = list(env.constraints)
         states = [_ConstraintState(c) for c in constraints]
@@ -131,6 +151,7 @@ class ExactNckSolver:
         best_assignment: dict[str, bool] | None = None
         best_soft = -1
         self.nodes_visited = 0
+        self.propagation_events = 0
 
         # Variables whose only soft role is the minimize idiom
         # nck({v},{0},soft): forcing them TRUE certainly violates that
@@ -248,6 +269,7 @@ class ExactNckSolver:
                             value = forced_value(st, u, m)
                             if value is None:
                                 continue
+                            self.propagation_events += 1
                             if not assign(u, value):
                                 trail.append((u, value))
                                 return False

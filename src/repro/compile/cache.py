@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..core.symmetry import cache_key
 from ..core.types import Constraint, SelectionSet, Var, VariableCollection
 from ..qubo.model import QUBO
@@ -62,6 +63,7 @@ class QUBOCache:
         """
         if not self.enabled:
             self.misses += 1
+            telemetry.count("compile.cache.misses")
             return synthesize_constraint_qubo(
                 constraint, ancilla_namer=ancilla_namer, exact_penalty=exact_penalty
             )
@@ -70,10 +72,12 @@ class QUBOCache:
         template = self._templates.get(key)
         if template is None:
             self.misses += 1
+            telemetry.count("compile.cache.misses")
             template = self._build_template(constraint, exact_penalty)
             self._templates[key] = template
         else:
             self.hits += 1
+            telemetry.count("compile.cache.hits")
 
         mapping = _slot_mapping(constraint)
         ancillas = tuple(ancilla_namer() for _ in range(template.num_ancillas))

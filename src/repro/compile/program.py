@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from .. import telemetry
 from ..core.types import Constraint, UnsatisfiableError
 from ..qubo.model import QUBO
 from .cache import QUBOCache
@@ -122,6 +123,19 @@ def compile_program(
     if hard_scale is not None and hard_scale <= 0:
         raise ValueError("hard_scale must be positive")
 
+    with telemetry.span(
+        "compile.program",
+        constraints=len(env.constraints),
+        variables=env.num_variables,
+        cache=cache,
+    ) as tspan:
+        return _compile_program(env, cache, hard_scale, tspan)
+
+
+def _compile_program(
+    env: "Env", cache: bool, hard_scale: float | None, tspan
+) -> CompiledProgram:
+    """The compilation pipeline behind :func:`compile_program`."""
     qubo_cache = QUBOCache(enabled=cache)
     counter = iter(range(10**9))
 
@@ -177,6 +191,14 @@ def compile_program(
         per_constraint.append(scaled)
         total += scaled
 
+    tspan.set(
+        ancillas=len(ancillas),
+        hard_scale=hard_scale,
+        cache_hits=qubo_cache.hits,
+        cache_misses=qubo_cache.misses,
+    )
+    telemetry.gauge("compile.cache.templates", len(qubo_cache))
+    telemetry.count("compile.programs")
     return CompiledProgram(
         qubo=total.pruned(),
         variables=tuple(v.name for v in env.variables),

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
+from .. import telemetry
 from ..core.types import Constraint, ConstraintConversionError
 from ..qubo.matrix import enumerate_assignments
 from ..qubo.model import QUBO
@@ -437,6 +438,29 @@ def synthesize_constraint_qubo(
         counter = iter(range(10**6))
         ancilla_namer = lambda: f"_anc{next(counter)}"  # noqa: E731
 
+    with telemetry.span(
+        "compile.synthesize",
+        variables=constraint.collection.cardinality,
+        soft=constraint.soft,
+    ) as sp:
+        result = _synthesize_dispatch(
+            constraint, ancilla_namer, allow_closed_form, exact_penalty
+        )
+        telemetry.count("compile.synthesize.calls")
+        telemetry.count("compile.ancillas", len(result.ancillas))
+        if result.used_closed_form:
+            telemetry.count("compile.synthesize.closed_form")
+        sp.set(ancillas=len(result.ancillas), closed_form=result.used_closed_form)
+        return result
+
+
+def _synthesize_dispatch(
+    constraint: Constraint,
+    ancilla_namer,
+    allow_closed_form: bool,
+    exact_penalty: bool,
+) -> SynthesisResult:
+    """The synthesis strategy chain behind :func:`synthesize_constraint_qubo`."""
     if allow_closed_form:
         closed = closed_form_qubo(constraint, ancilla_namer)
         if closed is not None:

@@ -68,6 +68,7 @@ class Env:
 
     @property
     def num_variables(self) -> int:
+        """Number of registered variables."""
         return len(self._vars)
 
     def __contains__(self, var: Var | str) -> bool:
@@ -85,9 +86,21 @@ class Env:
     ) -> Constraint:
         """Add the constraint ``nck(collection, selection[, soft])``.
 
-        String elements of ``collection`` are registered as ports;
-        :class:`~repro.core.types.Var` elements must already belong to the
-        environment.
+        Parameters
+        ----------
+        collection:
+            The variables constrained together (they may repeat).  String
+            elements are registered as ports; :class:`~repro.core.types.Var`
+            elements must already belong to the environment.
+        selection:
+            The admissible counts of TRUE variables — any iterable of
+            non-negative integers (a `range` works).
+        soft:
+            If True the constraint is desired but not required
+            (Section IV-C): execution satisfies every hard constraint and
+            as many soft constraints as possible.
+
+        Returns the added :class:`~repro.core.types.Constraint`.
         """
         resolved: list[Var] = []
         for v in collection:
@@ -112,18 +125,22 @@ class Env:
 
     @property
     def constraints(self) -> tuple[Constraint, ...]:
+        """All constraints (hard and soft), in insertion order."""
         return tuple(self._constraints)
 
     @property
     def hard_constraints(self) -> tuple[Constraint, ...]:
+        """The required constraints, in insertion order."""
         return tuple(c for c in self._constraints if not c.soft)
 
     @property
     def soft_constraints(self) -> tuple[Constraint, ...]:
+        """The desired-but-not-required constraints, in insertion order."""
         return tuple(c for c in self._constraints if c.soft)
 
     @property
     def num_constraints(self) -> int:
+        """Total constraint count, hard plus soft."""
         return len(self._constraints)
 
     # ------------------------------------------------------------------

@@ -77,6 +77,7 @@ class Solution:
 
     @property
     def all_hard_satisfied(self) -> bool:
+        """Whether every hard constraint is satisfied (validity)."""
         return self.hard_satisfied == self.hard_total
 
     def quality(self, max_soft_satisfiable: int) -> SolutionQuality:
@@ -142,6 +143,7 @@ class SampleSet:
 
     @property
     def best(self) -> Solution:
+        """The lowest-energy solution; raises on an empty set."""
         if not self.solutions:
             raise ValueError("empty sample set")
         return self.solutions[0]

@@ -1,0 +1,284 @@
+"""Telemetry exporters: JSON-lines and a human-readable table report.
+
+Two serializations of a :class:`~repro.telemetry.recorder.TelemetryRecorder`:
+
+* :func:`to_jsonl` / :func:`write_jsonl` — one JSON object per line,
+  machine-readable, suitable for diffing two runs or feeding a
+  dashboard.  :func:`read_jsonl` reconstructs an equivalent recorder
+  (the round-trip is exact up to float formatting).
+* :func:`render_report` — the per-stage report the CLI prints after a
+  ``python -m repro trace <artifact>`` run: a pipeline headline
+  (compile-cache hit rate, embedding attempts, anneal sweep timing,
+  QAOA iterations), a span tree aggregated by path, and the metric
+  tables.
+
+JSONL schema (one ``type`` field per line)::
+
+    {"type": "span", "name": ..., "path": ..., "parent": ..., "depth": ...,
+     "start_s": ..., "wall_s": ..., "cpu_s": ..., "attrs": {...}}
+    {"type": "counter", "name": ..., "value": ...}
+    {"type": "gauge", "name": ..., "value": ..., "updates": ...}
+    {"type": "histogram", "name": ..., "count": ..., "total": ...,
+     "min": ..., "max": ..., "sum_sq": ...}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable
+
+from .recorder import (
+    CounterStat,
+    GaugeStat,
+    HistogramStat,
+    NullRecorder,
+    SpanRecord,
+    TelemetryRecorder,
+    get_recorder,
+)
+
+
+def _resolve(recorder: TelemetryRecorder | None) -> TelemetryRecorder:
+    """Default to the global recorder; reject the null recorder."""
+    if recorder is not None:
+        return recorder
+    current = get_recorder()
+    if isinstance(current, NullRecorder):
+        raise RuntimeError(
+            "telemetry is disabled; call repro.telemetry.enable() or set "
+            "REPRO_TELEMETRY=1 before exporting"
+        )
+    return current
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(recorder: TelemetryRecorder | None = None) -> str:
+    """Serialize ``recorder`` (default: the global one) to JSONL text."""
+    rec = _resolve(recorder)
+    lines: list[str] = []
+    for sp in rec.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": sp.name,
+                    "path": sp.path,
+                    "parent": sp.parent,
+                    "depth": sp.depth,
+                    "start_s": sp.start_s,
+                    "wall_s": sp.wall_s,
+                    "cpu_s": sp.cpu_s,
+                    "attrs": _jsonable(sp.attributes),
+                },
+                sort_keys=True,
+            )
+        )
+    for name, c in rec.counters.items():
+        lines.append(
+            json.dumps({"type": "counter", "name": name, "value": c.value}, sort_keys=True)
+        )
+    for name, g in rec.gauges.items():
+        lines.append(
+            json.dumps(
+                {"type": "gauge", "name": name, "value": g.value, "updates": g.updates},
+                sort_keys=True,
+            )
+        )
+    for name, h in rec.histograms.items():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "histogram",
+                    "name": name,
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "sum_sq": h.sum_sq,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: str, recorder: TelemetryRecorder | None = None) -> None:
+    """Write :func:`to_jsonl` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_jsonl(recorder))
+
+
+def read_jsonl(text_or_lines: str | Iterable[str]) -> TelemetryRecorder:
+    """Rebuild a recorder from JSONL text (or an iterable of lines).
+
+    The result compares equal to the source recorder in spans, counters,
+    gauges, and histogram summaries — the inverse of :func:`to_jsonl`.
+
+    Raises
+    ------
+    ValueError
+        On a line whose ``type`` field is missing or unknown.
+    """
+    if isinstance(text_or_lines, str):
+        lines: Iterable[str] = text_or_lines.splitlines()
+    else:
+        lines = text_or_lines
+    rec = TelemetryRecorder()
+    for raw in lines:
+        raw = raw.strip()
+        if not raw:
+            continue
+        obj = json.loads(raw)
+        kind = obj.get("type")
+        if kind == "span":
+            rec.spans.append(
+                SpanRecord(
+                    name=obj["name"],
+                    path=obj["path"],
+                    parent=obj["parent"],
+                    depth=obj["depth"],
+                    start_s=obj["start_s"],
+                    wall_s=obj["wall_s"],
+                    cpu_s=obj["cpu_s"],
+                    attributes=obj.get("attrs", {}),
+                )
+            )
+        elif kind == "counter":
+            rec.counters[obj["name"]] = CounterStat(value=obj["value"])
+        elif kind == "gauge":
+            rec.gauges[obj["name"]] = GaugeStat(
+                value=obj["value"], updates=obj["updates"]
+            )
+        elif kind == "histogram":
+            h = HistogramStat(
+                count=obj["count"],
+                total=obj["total"],
+                min=obj["min"] if obj["min"] is not None else math.inf,
+                max=obj["max"] if obj["max"] is not None else -math.inf,
+                sum_sq=obj["sum_sq"],
+            )
+            rec.histograms[obj["name"]] = h
+        else:
+            raise ValueError(f"unknown telemetry record type: {kind!r}")
+    return rec
+
+
+def _jsonable(attrs: dict) -> dict:
+    """Coerce attribute values to JSON-safe scalars (repr fallback)."""
+    out = {}
+    for k, v in attrs.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = repr(v)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Human-readable report
+# ---------------------------------------------------------------------------
+
+
+def _fmt_seconds(s: float) -> str:
+    """Format a duration with sensible units (µs → s)."""
+    if s >= 1.0:
+        return f"{s:.2f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f} ms"
+    return f"{s * 1e6:.0f} µs"
+
+
+def pipeline_headline(recorder: TelemetryRecorder | None = None) -> str:
+    """The four headline pipeline numbers, one per line.
+
+    Always prints all four lines — compile-cache hit rate, embedding
+    attempts, anneal sweep timing, and QAOA iterations — with zero /
+    dash placeholders for stages the traced command never reached, so
+    consumers can grep for a stable set of labels.
+    """
+    rec = _resolve(recorder)
+    hits = rec.counter_value("compile.cache.hits")
+    misses = rec.counter_value("compile.cache.misses")
+    total = hits + misses
+    rate = f"{100.0 * hits / total:.1f}%" if total else "n/a"
+    attempts = rec.counter_value("anneal.embed.attempts")
+    sweeps = rec.counter_value("anneal.sweeps")
+    sweep_h = rec.histograms.get("anneal.sweep_seconds")
+    sweep_time = sweep_h.total if sweep_h else 0.0
+    rate_h = rec.histograms.get("anneal.sweeps_per_second")
+    sweeps_per_s = f"{rate_h.mean:,.0f} sweeps/s" if rate_h and rate_h.count else "—"
+    iters = rec.counter_value("circuit.qaoa.iterations")
+    lines = [
+        f"compile cache hit rate   {rate} ({hits:.0f} hits / {misses:.0f} misses)",
+        f"embedding attempts       {attempts:.0f}",
+        f"anneal sweep time        {_fmt_seconds(sweep_time)} total "
+        f"({sweeps:.0f} sweeps, {sweeps_per_s})",
+        f"QAOA iterations          {iters:.0f}",
+    ]
+    return "\n".join(lines)
+
+
+def render_report(recorder: TelemetryRecorder | None = None) -> str:
+    """Render the full per-stage report (headline, spans, metrics)."""
+    rec = _resolve(recorder)
+    width = 78
+    out: list[str] = []
+
+    def rule(title: str) -> None:
+        out.append(f"-- {title} ".ljust(width, "-"))
+
+    out.append("== telemetry report ".ljust(width, "="))
+    rule("pipeline headline")
+    out.append(pipeline_headline(rec))
+
+    # Aggregate spans by path, preserving first-seen order, children
+    # grouped under their parents by sorting on the path's segments.
+    agg: dict[str, dict] = {}
+    with rec._lock:
+        spans = list(rec.spans)
+    for sp in spans:
+        a = agg.setdefault(
+            sp.path,
+            {"name": sp.name, "depth": sp.depth, "calls": 0, "wall": 0.0, "cpu": 0.0},
+        )
+        a["calls"] += 1
+        a["wall"] += sp.wall_s
+        a["cpu"] += sp.cpu_s
+    if agg:
+        rule("spans")
+        header = f"{'span':42s} {'calls':>6s} {'total wall':>11s} {'mean wall':>10s} {'total cpu':>10s}"
+        out.append(header)
+        for path in sorted(agg, key=lambda p: p.split("/")):
+            a = agg[path]
+            label = ("  " * a["depth"] + a["name"])[:42]
+            out.append(
+                f"{label:42s} {a['calls']:>6d} {_fmt_seconds(a['wall']):>11s} "
+                f"{_fmt_seconds(a['wall'] / a['calls']):>10s} {_fmt_seconds(a['cpu']):>10s}"
+            )
+    if rec.counters:
+        rule("counters")
+        for name in sorted(rec.counters):
+            out.append(f"{name:48s} {rec.counters[name].value:>12,.0f}")
+    if rec.gauges:
+        rule("gauges")
+        for name in sorted(rec.gauges):
+            g = rec.gauges[name]
+            out.append(f"{name:48s} {g.value:>12,.3f}  ({g.updates} updates)")
+    if rec.histograms:
+        rule("histograms")
+        header = f"{'histogram':38s} {'count':>7s} {'mean':>10s} {'min':>10s} {'max':>10s}"
+        out.append(header)
+        for name in sorted(rec.histograms):
+            h = rec.histograms[name]
+            if not h.count:
+                continue
+            out.append(
+                f"{name:38s} {h.count:>7d} {h.mean:>10.4g} {h.min:>10.4g} {h.max:>10.4g}"
+            )
+    out.append("=" * width)
+    return "\n".join(out)

@@ -1,0 +1,404 @@
+"""The telemetry recorder: spans, counters, gauges, histograms.
+
+Two recorder implementations share one duck-typed interface:
+
+* :class:`TelemetryRecorder` — the real thing.  Thread-safe (one lock
+  guards all metric tables; the active-span stack is thread-local so
+  span nesting is correct per thread), append-only, and cheap enough to
+  leave enabled through full experiment runs.
+* :class:`NullRecorder` — the disabled fast path.  Every method is a
+  no-op and :meth:`NullRecorder.span` returns a shared inert context
+  manager, so instrumentation costs almost nothing when telemetry is
+  off.
+
+The process-global recorder is selected at import time from the
+``REPRO_TELEMETRY`` environment variable (truthy values: anything but
+``""``, ``"0"``, ``"false"``, ``"off"``, ``"no"``) and can be swapped at
+runtime with :func:`enable` / :func:`disable` / :func:`set_recorder`.
+Module-level :func:`span`, :func:`count`, :func:`gauge`, and
+:func:`observe` always dispatch to the current global recorder — they
+are the API instrumented code should call.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named, timed, attributed region of work.
+
+    Attributes
+    ----------
+    name:
+        The span's own (dotted) name, e.g. ``"compile.program"``.
+    path:
+        Slash-joined names from the root span down to this one, e.g.
+        ``"anneal.job/compile.program"`` — what the report aggregates by.
+    parent:
+        The enclosing span's ``path``, or ``None`` for a root span.
+    depth:
+        Nesting depth (0 for root spans).
+    start_s:
+        Wall-clock start, seconds since the recorder was created.
+    wall_s / cpu_s:
+        Elapsed wall time and process CPU time inside the span.
+    attributes:
+        Free-form key → value annotations attached at entry or via
+        :meth:`Span.set`.
+    """
+
+    name: str
+    path: str
+    parent: str | None
+    depth: int
+    start_s: float
+    wall_s: float
+    cpu_s: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CounterStat:
+    """A monotonically increasing event counter."""
+
+    value: float = 0.0
+
+
+@dataclass
+class GaugeStat:
+    """A last-value-wins measurement (plus how often it was set)."""
+
+    value: float = 0.0
+    updates: int = 0
+
+
+@dataclass
+class HistogramStat:
+    """Summary statistics over observed values (no bucket storage).
+
+    Tracks count, sum, min, max, and sum of squares — enough for mean
+    and standard deviation without keeping individual observations.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    sum_sq: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        self.sum_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 for fewer than 2 values)."""
+        if self.count < 2:
+            return 0.0
+        var = self.sum_sq / self.count - self.mean**2
+        return math.sqrt(var) if var > 0.0 else 0.0
+
+
+class Span:
+    """A live span: a context manager that records on exit.
+
+    Created by :meth:`TelemetryRecorder.span`; use as::
+
+        with telemetry.span("anneal.embed", variables=30) as sp:
+            ...
+            sp.set(physical_qubits=112)
+
+    Entering pushes the span onto the calling thread's span stack (so
+    nested spans record their parentage); exiting pops it and appends a
+    :class:`SpanRecord` to the recorder.  Exceptions propagate; the span
+    still records, tagged with ``error=<exception type>``.
+    """
+
+    __slots__ = (
+        "_recorder",
+        "name",
+        "attributes",
+        "path",
+        "parent",
+        "depth",
+        "_t0_wall",
+        "_t0_cpu",
+        "_start_s",
+    )
+
+    def __init__(self, recorder: "TelemetryRecorder", name: str, attributes: dict) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attributes = attributes
+        self.path = name
+        self.parent: str | None = None
+        self.depth = 0
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes on the live span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._recorder._stack()
+        if stack:
+            top = stack[-1]
+            self.parent = top.path
+            self.path = f"{top.path}/{self.name}"
+            self.depth = top.depth + 1
+        stack.append(self)
+        self._start_s = time.perf_counter() - self._recorder.epoch
+        self._t0_wall = time.perf_counter()
+        self._t0_cpu = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._t0_wall
+        cpu = time.process_time() - self._t0_cpu
+        stack = self._recorder._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # pragma: no cover - unbalanced exit safety net
+            stack.remove(self)
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._recorder._record_span(
+            SpanRecord(
+                name=self.name,
+                path=self.path,
+                parent=self.parent,
+                depth=self.depth,
+                start_s=self._start_s,
+                wall_s=wall,
+                cpu_s=cpu,
+                attributes=self.attributes,
+            )
+        )
+
+
+class _NullSpan:
+    """Inert stand-in for :class:`Span` when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        """No-op; returns self so call sites read identically."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The disabled-mode recorder: every operation is a no-op.
+
+    Shares :class:`TelemetryRecorder`'s interface so instrumented code
+    never branches on whether telemetry is on.
+    """
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        """Return the shared inert span context manager."""
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Discard a counter increment."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard a gauge update."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Discard a histogram observation."""
+
+    def reset(self) -> None:
+        """Nothing to clear."""
+
+
+class TelemetryRecorder:
+    """Thread-safe registry of finished spans and metric tables.
+
+    One lock guards the span list and the three metric dictionaries;
+    the active-span stack is kept in a :class:`threading.local` so spans
+    nest correctly per thread.  Recorders are cheap to construct — tests
+    typically make a fresh one per case via :func:`enable`.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, CounterStat] = {}
+        self.gauges: dict[str, GaugeStat] = {}
+        self.histograms: dict[str, HistogramStat] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span management ------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Create a live :class:`Span` (record on context-manager exit)."""
+        return Span(self, name, attributes)
+
+    def current_span(self) -> Span | None:
+        """The innermost live span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _record_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    # -- metrics --------------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            stat = self.counters.get(name)
+            if stat is None:
+                stat = self.counters[name] = CounterStat()
+            stat.value += value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            stat = self.gauges.get(name)
+            if stat is None:
+                stat = self.gauges[name] = GaugeStat()
+            stat.value = value
+            stat.updates += 1
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the histogram ``name``."""
+        with self._lock:
+            stat = self.histograms.get(name)
+            if stat is None:
+                stat = self.histograms[name] = HistogramStat()
+            stat.add(value)
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics (live spans unaffected)."""
+        with self._lock:
+            self.spans.clear()
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+    def counter_value(self, name: str) -> float:
+        """The counter's current value (0.0 if never incremented)."""
+        stat = self.counters.get(name)
+        return stat.value if stat else 0.0
+
+    def span_paths(self) -> list[str]:
+        """Distinct span paths in first-recorded order."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for rec in self.spans:
+                seen.setdefault(rec.path, None)
+        return list(seen)
+
+    def span_names(self) -> set[str]:
+        """The set of distinct span names recorded so far."""
+        with self._lock:
+            return {rec.name for rec in self.spans}
+
+
+# ---------------------------------------------------------------------------
+# Process-global recorder and the module-level instrumentation API.
+# ---------------------------------------------------------------------------
+
+
+def _env_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` requests telemetry at import time."""
+    value = os.environ.get("REPRO_TELEMETRY", "0").strip().lower()
+    return value not in ("", "0", "false", "off", "no")
+
+
+_recorder: TelemetryRecorder | NullRecorder
+_recorder = TelemetryRecorder() if _env_enabled() else NullRecorder()
+
+
+def enabled() -> bool:
+    """True when events are actually being recorded."""
+    return not isinstance(_recorder, NullRecorder)
+
+
+def enable(recorder: TelemetryRecorder | None = None) -> TelemetryRecorder:
+    """Install (and return) a live recorder as the process-global one.
+
+    With no argument a fresh, empty :class:`TelemetryRecorder` is
+    created; passing one lets callers pre-configure or reuse a recorder.
+    """
+    global _recorder
+    _recorder = recorder if recorder is not None else TelemetryRecorder()
+    return _recorder
+
+
+def disable() -> None:
+    """Swap in the :class:`NullRecorder`; subsequent events are dropped."""
+    global _recorder
+    _recorder = NullRecorder()
+
+
+def get_recorder() -> TelemetryRecorder | NullRecorder:
+    """The current process-global recorder (null when disabled)."""
+    return _recorder
+
+
+def set_recorder(recorder: TelemetryRecorder | NullRecorder) -> None:
+    """Install an explicit recorder (tests use this for isolation)."""
+    global _recorder
+    _recorder = recorder
+
+
+def span(name: str, **attributes: Any) -> Span | _NullSpan:
+    """Open span ``name`` on the global recorder (no-op when disabled)."""
+    return _recorder.span(name, **attributes)
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Add ``value`` (default 1) to counter ``name`` on the global recorder."""
+    _recorder.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` on the global recorder."""
+    _recorder.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Fold ``value`` into histogram ``name`` on the global recorder."""
+    _recorder.observe(name, value)
+
+
+def current_span() -> Span | None:
+    """The innermost live span on this thread (None when disabled)."""
+    if isinstance(_recorder, NullRecorder):
+        return None
+    return _recorder.current_span()
