@@ -4,10 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test docs-check lint-docstrings bench trace-table1 all-checks
+.PHONY: test test-slow docs-check lint-docstrings bench bench-smoke trace-table1 all-checks
 
-test:            ## tier-1 test suite
+test:            ## tier-1 test suite (excludes @slow, per pyproject addopts)
 	$(PYTHON) -m pytest -x -q
+
+test-slow:       ## just the long-running end-to-end demos
+	$(PYTHON) -m pytest -q -m slow
 
 docs-check:      ## execute every runnable code block in README.md and docs/
 	$(PYTHON) -m pytest tests/test_docs_examples.py -q
@@ -17,6 +20,9 @@ lint-docstrings: ## docstring presence + parameter-coverage lint
 
 bench:           ## regenerate every table & figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-smoke:     ## tiny-budget portfolio-runtime bench (serial vs race)
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_runtime.py --benchmark-only -s
 
 trace-table1:    ## smoke-run the telemetry pipeline end to end
 	$(PYTHON) -m repro trace table1

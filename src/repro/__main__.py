@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: paper artifacts plus the portfolio solver.
 
 Usage::
 
@@ -10,38 +10,47 @@ Usage::
     python -m repro all [--full]
     python -m repro trace <artifact>      # run with telemetry + report
     python -m repro table1 --telemetry    # same, flag form
+    python -m repro solve vertex-cover --n 20 \\
+        [--backends classical,annealing] [--strategy race] \\
+        [--timeout S] [--retries K] [--seed N]
 
-Each subcommand prints the measured rows/series of one paper artifact
-(the same output the benchmark harness produces, without pytest).
+Artifact subcommands print the measured rows/series of one paper
+artifact (the same output the benchmark harness produces, without
+pytest).  ``solve`` generates a problem instance from the Table I
+library and runs it through the :mod:`repro.runtime` portfolio —
+racing, merging, or falling back across the classical, annealing, and
+QAOA backends — then prints the winning solution and the per-attempt
+provenance.
 
 With ``trace`` (or ``--telemetry``, or ``REPRO_TELEMETRY=1`` in the
 environment) the run is instrumented: every pipeline stage records
 spans and metrics, and a per-stage telemetry report — compile-cache hit
 rate, embedding attempts, anneal sweep throughput, QAOA iterations,
-span timings — is printed after the artifact output.
-``--telemetry-out FILE`` additionally dumps the raw events as JSONL
-(see ``docs/observability.md``).
+portfolio attempt/retry/timeout tallies, span timings — is printed
+after the command output.  ``--telemetry-out FILE`` additionally dumps
+the raw events as JSONL (see ``docs/observability.md``).
+
+All subcommands, their help strings, and the ``trace``/``all`` rosters
+derive from the single :data:`COMMANDS` registry below — adding a
+command there is the only step, so the CLI and its documentation cannot
+drift apart.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
 
 from . import telemetry
 
-ARTIFACTS = [
-    "table1",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "timing",
-    "report",
-    "all",
-]
+
+# ---------------------------------------------------------------------------
+# Artifact runners
+# ---------------------------------------------------------------------------
 
 
 def _table1(args) -> None:
@@ -144,73 +153,240 @@ def _timing(args) -> None:
         print(f"  {key:24s} {value:.1f}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Parse arguments, run the requested artifact(s), report telemetry.
+def _all(args) -> None:
+    for cmd in COMMANDS:
+        if not cmd.artifact or cmd.name in ("report", "all"):
+            continue
+        print(f"\n{'=' * 74}\n{cmd.name.upper()}\n{'=' * 74}")
+        with telemetry.span(f"experiments.{cmd.name}"):
+            cmd.run(args)
 
-    Returns the process exit code (0 on success).
+
+# ---------------------------------------------------------------------------
+# The portfolio solver subcommand
+# ---------------------------------------------------------------------------
+
+#: Problem generators available to ``solve`` (all from ``repro.problems``).
+SOLVE_PROBLEMS = (
+    "vertex-cover",
+    "max-cut",
+    "clique-cover",
+    "map-coloring",
+    "exact-cover",
+    "set-cover",
+    "3sat",
+)
+
+
+def _build_problem(name: str, n: int, seed: int):
+    """Build a Table I problem instance of size ``n`` named ``name``."""
+    from .problems import (
+        CliqueCover,
+        ExactCover,
+        KSat,
+        MapColoring,
+        MaxCut,
+        MinSetCover,
+        MinVertexCover,
+        circulant_graph,
+        vertex_scaling_graph,
+    )
+
+    rng = np.random.default_rng(seed)
+    if name == "vertex-cover":
+        return MinVertexCover(circulant_graph(n))
+    if name == "max-cut":
+        return MaxCut(circulant_graph(n))
+    if name == "clique-cover":
+        k = max(1, n // 3)
+        return CliqueCover(vertex_scaling_graph(k), k)
+    if name == "map-coloring":
+        return MapColoring(vertex_scaling_graph(max(1, n // 3)), 3)
+    if name == "exact-cover":
+        return ExactCover.random_satisfiable(n, n, rng)
+    if name == "set-cover":
+        return MinSetCover.from_exact_cover(ExactCover.random_satisfiable(n, n, rng))
+    if name == "3sat":
+        return KSat.random_3sat(n, max(1, int(1.7 * n)), rng)
+    raise ValueError(f"unknown problem {name!r}")
+
+
+def _parse_backends(args) -> list:
+    """Resolve ``--backends`` into adapter objects, honoring the
+    annealing/QAOA flags (``--num-reads``, ``--noiseless``)."""
+    from .runtime import make_backend
+
+    extras = {
+        "annealing": {"num_reads": args.num_reads, "noiseless": args.noiseless},
+        "anneal": {"num_reads": args.num_reads, "noiseless": args.noiseless},
+        "dwave": {"num_reads": args.num_reads, "noiseless": args.noiseless},
+        "qaoa": {"noiseless": args.noiseless},
+        "circuit": {"noiseless": args.noiseless},
+    }
+    names = [s.strip() for s in args.backends.split(",") if s.strip()]
+    return [make_backend(name, **extras.get(name, {})) for name in names]
+
+
+def _configure_solve(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``solve``-specific arguments to its subparser."""
+    parser.add_argument("problem", choices=SOLVE_PROBLEMS, help="problem family")
+    parser.add_argument("--n", type=int, default=12, help="instance size (nodes/elements/variables)")
+    parser.add_argument(
+        "--backends",
+        default="classical,annealing",
+        help="comma-separated backend names (classical, annealing, qaoa)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("race", "ensemble", "fallback"),
+        default="race",
+        help="portfolio strategy (see docs/runtime.md)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="per-backend deadline in seconds"
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="total attempts per stochastic backend on infeasible samples",
+    )
+    parser.add_argument(
+        "--num-reads", type=int, default=100, help="annealing reads per job"
+    )
+    parser.add_argument(
+        "--noiseless", action="store_true", help="noise-free device profiles"
+    )
+
+
+def _solve(args) -> None:
+    from .runtime import solve as portfolio_solve
+
+    instance = _build_problem(args.problem, args.n, args.seed)
+    env = instance.build_env()
+    print(f"problem  {args.problem} --n {args.n}: {env!r}")
+    result = portfolio_solve(
+        env,
+        backends=_parse_backends(args),
+        strategy=args.strategy,
+        timeout=args.timeout,
+        retries=args.retries,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(f"verified {instance.verify(result.solution.assignment)}")
+
+
+# ---------------------------------------------------------------------------
+# The command registry — the single source of truth for the CLI surface
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """One CLI subcommand.
+
+    ``name`` and ``help`` feed argparse; ``run`` executes with the parsed
+    namespace; ``configure`` (optional) attaches subcommand-specific
+    arguments; ``artifact`` marks paper artifacts, which are the commands
+    ``trace`` accepts and ``all`` iterates, and which run inside an
+    ``experiments.<name>`` telemetry span.
     """
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the paper's tables and figures.",
-    )
-    parser.add_argument("artifact", choices=ARTIFACTS + ["trace"])
-    parser.add_argument(
-        "traced",
-        nargs="?",
-        choices=ARTIFACTS,
-        help="the artifact to run under tracing (required with 'trace')",
-    )
-    parser.add_argument("--full", action="store_true", help="full-scale sweeps")
-    parser.add_argument("--seed", type=int, default=2022)
-    parser.add_argument("-o", "--output", default=None, help="report output path")
-    parser.add_argument(
+
+    name: str
+    help: str
+    run: Callable[[argparse.Namespace], None]
+    configure: Callable[[argparse.ArgumentParser], None] | None = None
+    artifact: bool = True
+
+
+#: Every subcommand, in display order.  ``trace`` is synthesized from
+#: this table rather than listed in it.
+COMMANDS: tuple[Command, ...] = (
+    Command("table1", "Table I: complexity comparison", _table1),
+    Command("fig7", "Figure 7: D-Wave % optimal vs physical qubits", _fig7),
+    Command("fig8", "Figure 8: IBM qubits used", lambda a: _fig8_10(a, "fig8")),
+    Command("fig9", "Figure 9: IBM circuit depth", lambda a: _fig8_10(a, "fig9")),
+    Command("fig10", "Figure 10: constraints vs depth", lambda a: _fig8_10(a, "fig10")),
+    Command("fig11", "Figure 11: D-Wave job time vs size", _fig11),
+    Command("fig12", "Figure 12: classical scaling fit", _fig12),
+    Command("timing", "Section VIII-C timing breakdowns", _timing),
+    Command("report", "full measured report (optionally to -o FILE)", _report),
+    Command("all", "every artifact above, in sequence", _all),
+    Command(
+        "solve",
+        "portfolio-solve a generated problem instance",
+        _solve,
+        configure=_configure_solve,
+        artifact=False,
+    ),
+)
+
+#: Artifact names, derived from the registry (kept as a module attribute
+#: for tooling that introspects the CLI surface).
+ARTIFACTS = [c.name for c in COMMANDS if c.artifact]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Assemble the argparse tree from :data:`COMMANDS`."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--full", action="store_true", help="full-scale sweeps")
+    common.add_argument("--seed", type=int, default=2022)
+    common.add_argument("-o", "--output", default=None, help="report output path")
+    common.add_argument(
         "--telemetry",
         action="store_true",
         help="record pipeline telemetry and print the per-stage report",
     )
-    parser.add_argument(
+    common.add_argument(
         "--telemetry-out",
         default=None,
         metavar="FILE",
         help="also dump raw telemetry events as JSON lines to FILE",
     )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures, or portfolio-solve "
+        "a problem instance.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command", required=True)
+    for cmd in COMMANDS:
+        p = sub.add_parser(cmd.name, help=cmd.help, parents=[common])
+        if cmd.configure is not None:
+            cmd.configure(p)
+    tracer = sub.add_parser(
+        "trace", help="run an artifact with telemetry + report", parents=[common]
+    )
+    tracer.add_argument(
+        "traced",
+        choices=ARTIFACTS,
+        metavar="artifact",
+        help="the artifact to run under tracing",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the requested command, report telemetry.
+
+    Returns the process exit code (0 on success).
+    """
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    artifact = args.artifact
-    if artifact == "trace":
-        if args.traced is None:
-            parser.error("'trace' requires the artifact to run, e.g. 'trace table1'")
-        artifact = args.traced
-    elif args.traced is not None:
-        parser.error(f"unexpected extra argument {args.traced!r}")
-
-    if (args.artifact == "trace" or args.telemetry or args.telemetry_out) and not telemetry.enabled():
+    name = args.traced if args.command == "trace" else args.command
+    if (
+        args.command == "trace" or args.telemetry or args.telemetry_out
+    ) and not telemetry.enabled():
         telemetry.enable()
 
-    dispatch = {
-        "table1": lambda: _table1(args),
-        "report": lambda: _report(args),
-        "fig7": lambda: _fig7(args),
-        "fig8": lambda: _fig8_10(args, "fig8"),
-        "fig9": lambda: _fig8_10(args, "fig9"),
-        "fig10": lambda: _fig8_10(args, "fig10"),
-        "fig11": lambda: _fig11(args),
-        "fig12": lambda: _fig12(args),
-        "timing": lambda: _timing(args),
-    }
-
-    def run_one(name: str) -> None:
+    command = next(c for c in COMMANDS if c.name == name)
+    if command.artifact and command.name != "all":
         with telemetry.span(f"experiments.{name}"):
-            dispatch[name]()
-
-    if artifact == "all":
-        for name in dispatch:
-            if name == "report":
-                continue
-            print(f"\n{'=' * 74}\n{name.upper()}\n{'=' * 74}")
-            run_one(name)
+            command.run(args)
     else:
-        run_one(artifact)
+        command.run(args)
 
     if telemetry.enabled():
         print()

@@ -118,6 +118,11 @@ class AnnealingDeviceProfile:
 class AnnealingDevice:
     """Backend executing NchooseK programs on a simulated annealer."""
 
+    #: Runtime-backend hook (see :mod:`repro.runtime.backends`): sampling
+    #: is stochastic, so the portfolio may retry infeasible jobs with a
+    #: fresh seed-derived RNG stream.
+    deterministic = False
+
     def __init__(
         self,
         profile: AnnealingDeviceProfile | None = None,

@@ -89,6 +89,11 @@ class CircuitDeviceProfile:
 class CircuitDevice:
     """Backend executing NchooseK programs via QAOA on a simulated device."""
 
+    #: Runtime-backend hook (see :mod:`repro.runtime.backends`): shot
+    #: sampling and the optimizer start point are stochastic, so the
+    #: portfolio may retry infeasible executions with a fresh stream.
+    deterministic = False
+
     def __init__(
         self,
         profile: CircuitDeviceProfile | None = None,

@@ -72,6 +72,11 @@ class ExactNckSolver:
     """
 
     name = "classical-exact"
+    #: Runtime-backend hooks (see :mod:`repro.runtime.backends`): the
+    #: search is deterministic, so the portfolio never retries it, and it
+    #: proves optimality/unsatisfiability, so it anchors degradation.
+    deterministic = True
+    is_exact = True
 
     def __init__(self, node_limit: int = 50_000_000) -> None:
         self.node_limit = node_limit
@@ -83,8 +88,20 @@ class ExactNckSolver:
         """Best assignment of ``env`` (all hard satisfied, max soft), else raise."""
         return self.sample(env, **kwargs).best
 
-    def sample(self, env: "Env", **kwargs) -> SampleSet:
-        """Like :meth:`solve`, wrapped as a one-element sample set."""
+    def sample(
+        self,
+        env: "Env",
+        rng=None,
+        program=None,
+    ) -> SampleSet:
+        """Like :meth:`solve`, wrapped as a one-element sample set.
+
+        ``rng`` and ``program`` exist for signature parity with the
+        stochastic backends (the runtime passes both uniformly): the
+        branch-and-bound search is deterministic and operates on the
+        constraint hypergraph directly, so it uses neither the random
+        stream nor the precompiled QUBO.
+        """
         assignment, soft_sat = self._search(env)
         if assignment is None:
             raise UnsatisfiableError("no assignment satisfies every hard constraint")

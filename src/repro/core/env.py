@@ -7,9 +7,11 @@ satisfies every hard constraint while maximizing the number of satisfied
 soft constraints, or reports that none exists.
 
 The environment is backend-agnostic.  ``env.solve(backend)`` accepts any
-object implementing the :class:`~repro.backends.Backend` protocol — the
-classical exact solver, the annealing-device simulator, or the
-circuit-device (QAOA) simulator — mirroring the paper's portability goal.
+object implementing the :class:`~repro.runtime.backends.Backend`
+protocol — the classical exact solver, the annealing-device simulator,
+or the circuit-device (QAOA) simulator — mirroring the paper's
+portability goal; :func:`repro.runtime.solve` runs a whole portfolio of
+them concurrently.
 
 Blocks
 ------

@@ -1,0 +1,162 @@
+"""Robustness policies: deadlines, bounded retry with backoff, degradation.
+
+The runtime treats backends as unreliable by default — the paper's own
+evaluation shows noisy devices returning hard-constraint-violating
+samples, and real cloud solvers additionally hang and rate-limit.  Three
+policy layers express the standard defenses:
+
+* :class:`RetryPolicy` — how many times a *stochastic* backend may be
+  relaunched after returning only infeasible samples, and how long to
+  wait between launches (exponential backoff with deterministic,
+  seed-derived jitter so retried runs remain reproducible);
+* :class:`BackendPolicy` — per-backend knobs: the attempt deadline and
+  the retry policy;
+* :class:`PortfolioPolicy` — portfolio-wide knobs: per-backend policy
+  overrides, an overall deadline, and whether a run in which every
+  requested backend failed degrades to the exact classical solver
+  instead of raising.
+
+Deterministic backends (the exact classical solver) are never retried:
+re-running a deterministic computation on the same input cannot change
+the outcome, so the runtime caps their attempt budget at one regardless
+of the retry policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and optional jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total launches allowed per backend (1 = never retry).
+    backoff_base:
+        Delay in seconds after the first failed attempt.
+    backoff_factor:
+        Multiplier applied per subsequent failure (2.0 = doubling).
+    backoff_max:
+        Ceiling on any single delay, in seconds.
+    jitter:
+        Fractional jitter: the delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]``.  Drawn from a
+        seed-derived RNG, so jittered schedules are still reproducible.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, failed_attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Seconds to wait after the 1-based ``failed_attempt``.
+
+        The undithered schedule is
+        ``min(backoff_max, backoff_base * backoff_factor**(failed_attempt - 1))``;
+        when ``jitter`` is nonzero and an ``rng`` is supplied, the result
+        is scaled by a uniform factor from ``[1 - jitter, 1 + jitter]``.
+        """
+        if failed_attempt < 1:
+            raise ValueError("failed_attempt is 1-based")
+        raw = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (failed_attempt - 1),
+        )
+        if self.jitter and rng is not None:
+            raw *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return max(0.0, raw)
+
+
+@dataclass(frozen=True)
+class BackendPolicy:
+    """Per-backend robustness knobs.
+
+    Attributes
+    ----------
+    timeout:
+        Attempt deadline in seconds (``None`` = no deadline).  A backend
+        that has not returned by its deadline is *abandoned*: the
+        orchestrator records a timeout, signals cooperative cancellation,
+        and stops waiting — a hung backend can therefore never stall
+        ``solve()`` past its deadline.
+    retry:
+        The :class:`RetryPolicy` applied when the backend completes but
+        every returned sample violates a hard constraint.
+    retry_invalid:
+        Master switch for that retry behavior (``False`` = a single
+        infeasible completion is final).
+    """
+
+    timeout: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    retry_invalid: bool = True
+
+    def max_attempts(self, deterministic: bool) -> int:
+        """The attempt budget, honoring determinism and ``retry_invalid``."""
+        if deterministic or not self.retry_invalid:
+            return 1
+        return self.retry.max_attempts
+
+
+@dataclass(frozen=True)
+class PortfolioPolicy:
+    """Portfolio-wide robustness configuration.
+
+    Attributes
+    ----------
+    default:
+        The :class:`BackendPolicy` applied to any backend without an
+        explicit override.
+    per_backend:
+        Overrides keyed by backend name.
+    total_timeout:
+        Overall deadline for the whole portfolio run, in seconds
+        (``None`` = unbounded).  When it fires, every outstanding attempt
+        is abandoned and the run settles with whatever completed.
+    degrade_to_classical:
+        When every requested backend fails (timeout, error, or only
+        infeasible samples) and no exact classical backend was in the
+        portfolio, run the exact solver in-process as a last resort
+        instead of raising :class:`~repro.runtime.records.PortfolioError`.
+    """
+
+    default: BackendPolicy = field(default_factory=BackendPolicy)
+    per_backend: Mapping[str, BackendPolicy] = field(default_factory=dict)
+    total_timeout: float | None = None
+    degrade_to_classical: bool = True
+
+    def for_backend(self, name: str) -> BackendPolicy:
+        """The effective :class:`BackendPolicy` for backend ``name``."""
+        return self.per_backend.get(name, self.default)
+
+    @classmethod
+    def with_timeout(
+        cls,
+        timeout: float | None,
+        retries: int | None = None,
+        **kwargs,
+    ) -> "PortfolioPolicy":
+        """Convenience constructor from the two most-used knobs.
+
+        ``timeout`` becomes the default per-backend deadline; ``retries``
+        (total attempts, if given) replaces the default retry budget.
+        Remaining keyword arguments (``kwargs``) flow to the
+        :class:`PortfolioPolicy` constructor (e.g. ``total_timeout`` or
+        ``degrade_to_classical``).
+        """
+        retry = RetryPolicy() if retries is None else RetryPolicy(max_attempts=retries)
+        return cls(default=BackendPolicy(timeout=timeout, retry=retry), **kwargs)

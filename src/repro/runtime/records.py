@@ -1,0 +1,136 @@
+"""Provenance records for portfolio runs.
+
+Every backend attempt the runtime makes — including the ones that time
+out, raise, get cancelled, or return hard-constraint-violating samples —
+leaves an :class:`AttemptRecord`.  A completed :func:`repro.runtime.solve`
+call returns a :class:`PortfolioResult` bundling the winning solution
+with the full attempt history, so "which backend won, after how many
+attempts, and what happened to the losers" is always answerable from the
+return value alone (the same provenance is mirrored into the winning
+solution's ``metadata["portfolio"]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.solution import Solution
+
+#: The closed set of attempt outcomes, in the order they are typically
+#: reported.  ``ok`` means the backend returned a sample set containing at
+#: least one hard-feasible solution; ``invalid`` means it completed but
+#: every sample violated a hard constraint.
+ATTEMPT_STATUSES = ("ok", "invalid", "error", "timeout", "cancelled")
+
+
+@dataclass
+class AttemptRecord:
+    """One backend attempt (launch) and its outcome.
+
+    ``attempt`` is 1-based and counts per backend: a stochastic backend
+    retried twice leaves records with ``attempt`` 1, 2, and 3.
+    ``wall_s`` is the attempt's wall-clock time as observed by the
+    orchestrator (for a timeout, the time until the deadline fired, not
+    until the abandoned thread eventually finished).
+    """
+
+    backend: str
+    attempt: int
+    status: str
+    wall_s: float = 0.0
+    error: str | None = None
+    soft_satisfied: int | None = None
+    energy: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in ATTEMPT_STATUSES:
+            raise ValueError(f"unknown attempt status {self.status!r}")
+
+
+@dataclass
+class PortfolioResult:
+    """The outcome of one portfolio ``solve()`` call.
+
+    Attributes
+    ----------
+    solution:
+        The winning :class:`~repro.core.solution.Solution` (hard-feasible;
+        for ``ensemble`` the best merged one).
+    winner:
+        Name of the backend that produced ``solution``.
+    strategy:
+        Strategy name the run used (``race`` / ``ensemble`` / ``fallback``).
+    wall_s:
+        End-to-end wall-clock time of the portfolio run.
+    seed:
+        The root seed the per-backend RNG streams were spawned from
+        (``None`` when the run was unseeded).
+    attempts:
+        Every :class:`AttemptRecord`, in completion/abandonment order.
+    candidates:
+        The hard-feasible best solution of every backend that produced
+        one (useful for inspecting what ``ensemble`` merged).
+    degraded:
+        Whether the classical last-resort path produced ``solution``
+        because every requested backend failed.
+    """
+
+    solution: Solution
+    winner: str
+    strategy: str
+    wall_s: float
+    seed: int | None
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    candidates: list[Solution] = field(default_factory=list)
+    degraded: bool = False
+
+    @property
+    def num_attempts(self) -> int:
+        """Total backend launches, including retries and failures."""
+        return len(self.attempts)
+
+    def attempts_for(self, backend: str) -> list[AttemptRecord]:
+        """The attempt records of one backend, in order."""
+        return [a for a in self.attempts if a.backend == backend]
+
+    def provenance(self) -> dict:
+        """The provenance dict mirrored into ``solution.metadata``."""
+        return {
+            "strategy": self.strategy,
+            "winner": self.winner,
+            "attempts": self.num_attempts,
+            "wall_s": self.wall_s,
+            "seed": self.seed,
+            "degraded": self.degraded,
+            "statuses": [(a.backend, a.attempt, a.status) for a in self.attempts],
+        }
+
+    def summary(self) -> str:
+        """A small human-readable report (the CLI prints this)."""
+        lines = [
+            f"winner   {self.winner} "
+            f"(strategy {self.strategy}, {self.wall_s:.3f} s"
+            + (", degraded to classical" if self.degraded else "")
+            + ")",
+            f"solution {self.solution!r}",
+            f"{'backend':24s} {'attempt':>7s} {'status':10s} {'wall':>10s}",
+        ]
+        for a in self.attempts:
+            wall = f"{a.wall_s * 1e3:.1f} ms" if a.wall_s < 1.0 else f"{a.wall_s:.2f} s"
+            lines.append(f"{a.backend:24s} {a.attempt:>7d} {a.status:10s} {wall:>10s}")
+        return "\n".join(lines)
+
+
+class PortfolioError(RuntimeError):
+    """No backend produced a hard-feasible solution.
+
+    Carries the full attempt history so callers can distinguish "every
+    quantum surrogate timed out" from "every backend returned garbage".
+    (A provably unsatisfiable program raises
+    :class:`~repro.core.types.UnsatisfiableError` instead.)
+    """
+
+    def __init__(self, message: str, attempts: list[AttemptRecord] | None = None) -> None:
+        """Store ``message`` and the ``attempts`` history (may be empty)."""
+        super().__init__(message)
+        self.attempts = list(attempts or [])

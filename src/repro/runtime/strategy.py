@@ -1,0 +1,85 @@
+"""Portfolio strategies: how concurrent backend results combine.
+
+Three classics from the constraint-solving portfolio literature, the
+same trio the hybrid quantum/classical stacks expose:
+
+* **race** — every backend launches at once; the first hard-feasible
+  result wins and the losers are cancelled.  Minimizes latency when any
+  one backend is likely to succeed.
+* **ensemble** — every backend launches at once and runs to completion
+  (or deadline); all results are merged and the best is kept, preferring
+  more satisfied soft constraints and breaking ties on energy.
+  Maximizes quality on noisy backends.
+* **fallback** — backends run one at a time in the given order, each
+  under its per-backend deadline; the first hard-feasible result wins.
+  The "quantum first, classical safety net" pattern.
+
+A strategy is a small declarative object; the scheduling itself lives in
+:mod:`repro.runtime.executor`, which reads the three fields below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.solution import Solution
+
+
+def solution_order_key(solution: Solution) -> tuple:
+    """Merge ordering: hard-feasible first, then most satisfied soft
+    constraints, then lowest energy (the paper's quality ordering)."""
+    return (
+        0 if solution.all_hard_satisfied else 1,
+        -solution.soft_satisfied,
+        solution.energy,
+    )
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One portfolio combination rule.
+
+    Attributes
+    ----------
+    name:
+        Registry key and provenance label.
+    concurrent:
+        Whether all backends launch immediately (``race`` / ``ensemble``)
+        or one at a time in order (``fallback``).
+    stop_on_first_valid:
+        Whether the first hard-feasible result ends the run and cancels
+        the remaining work (``race`` / ``fallback``).
+    """
+
+    name: str
+    concurrent: bool
+    stop_on_first_valid: bool
+
+    def select(self, candidates: list[Solution]) -> Solution:
+        """Pick the winner from ``candidates`` (hard-feasible, in
+        completion order): first-come for stopping strategies, best by
+        :func:`solution_order_key` for merging ones."""
+        if not candidates:
+            raise ValueError("select() requires at least one candidate")
+        if self.stop_on_first_valid:
+            return candidates[0]
+        return min(candidates, key=solution_order_key)
+
+
+RACE = Strategy("race", concurrent=True, stop_on_first_valid=True)
+ENSEMBLE = Strategy("ensemble", concurrent=True, stop_on_first_valid=False)
+FALLBACK = Strategy("fallback", concurrent=False, stop_on_first_valid=True)
+
+#: Name → strategy registry used by :func:`get_strategy` and the CLI.
+STRATEGIES = {s.name: s for s in (RACE, ENSEMBLE, FALLBACK)}
+
+
+def get_strategy(spec: str | Strategy) -> Strategy:
+    """Resolve ``spec`` (a registry name or a :class:`Strategy`)."""
+    if isinstance(spec, Strategy):
+        return spec
+    try:
+        return STRATEGIES[spec]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown strategy {spec!r} (known: {known})") from None

@@ -31,7 +31,14 @@ emits, and the exporter formats are documented in
 ``docs/observability.md``.
 """
 
-from .export import read_jsonl, render_report, to_jsonl, write_jsonl
+from .export import (
+    pipeline_headline,
+    portfolio_section,
+    read_jsonl,
+    render_report,
+    to_jsonl,
+    write_jsonl,
+)
 from .recorder import (
     CounterStat,
     GaugeStat,
@@ -68,6 +75,8 @@ __all__ = [
     "gauge",
     "get_recorder",
     "observe",
+    "pipeline_headline",
+    "portfolio_section",
     "read_jsonl",
     "render_report",
     "set_recorder",

@@ -223,8 +223,46 @@ def pipeline_headline(recorder: TelemetryRecorder | None = None) -> str:
     return "\n".join(lines)
 
 
+def portfolio_section(recorder: TelemetryRecorder | None = None) -> str | None:
+    """The portfolio-runtime lines, or ``None`` if no ``runtime.*``
+    metric was recorded (i.e. :mod:`repro.runtime` never ran).
+
+    Summarizes the counters the portfolio engine emits — attempts,
+    retries, timeouts, cancellations, errors, degradations — plus the
+    per-backend win tally (``runtime.win.<backend>``) and the attempt
+    wall-time histogram.
+    """
+    rec = _resolve(recorder)
+    runtime_metrics = [n for n in rec.counters if n.startswith("runtime.")]
+    if not runtime_metrics and "runtime.attempt_seconds" not in rec.histograms:
+        return None
+    attempts = rec.counter_value("runtime.attempts")
+    parts = ", ".join(
+        f"{rec.counter_value(f'runtime.{key}'):.0f} {key}"
+        for key in ("retries", "timeouts", "cancelled", "errors", "degraded")
+    )
+    lines = [f"attempts                 {attempts:.0f} ({parts})"]
+    wins = {
+        name[len("runtime.win."):]: c.value
+        for name, c in rec.counters.items()
+        if name.startswith("runtime.win.")
+    }
+    if wins:
+        tally = ", ".join(f"{b} {v:.0f}" for b, v in sorted(wins.items()))
+        lines.append(f"wins by backend          {tally}")
+    h = rec.histograms.get("runtime.attempt_seconds")
+    if h is not None and h.count:
+        lines.append(
+            f"attempt wall time        mean {_fmt_seconds(h.mean)}, "
+            f"min {_fmt_seconds(h.min)}, max {_fmt_seconds(h.max)} "
+            f"({h.count} completed)"
+        )
+    return "\n".join(lines)
+
+
 def render_report(recorder: TelemetryRecorder | None = None) -> str:
-    """Render the full per-stage report (headline, spans, metrics)."""
+    """Render the full per-stage report (headline, portfolio, spans,
+    metrics)."""
     rec = _resolve(recorder)
     width = 78
     out: list[str] = []
@@ -235,6 +273,10 @@ def render_report(recorder: TelemetryRecorder | None = None) -> str:
     out.append("== telemetry report ".ljust(width, "="))
     rule("pipeline headline")
     out.append(pipeline_headline(rec))
+    portfolio = portfolio_section(rec)
+    if portfolio is not None:
+        rule("portfolio runtime")
+        out.append(portfolio)
 
     # Aggregate spans by path, preserving first-seen order, children
     # grouped under their parents by sorting on the path's segments.

@@ -27,6 +27,7 @@ from repro.circuit.device import CircuitDevice
 from repro.classical.nck_solver import ExactNckSolver
 from repro.compile.program import compile_program
 from repro.core.env import Env
+from repro.runtime import BatchRunner, solve
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
 
@@ -43,6 +44,12 @@ LINTED_MODULES = [
     "circuit/device.py",
     "classical/nck_solver.py",
     "problems/base.py",
+    "runtime/__init__.py",
+    "runtime/backends.py",
+    "runtime/executor.py",
+    "runtime/policy.py",
+    "runtime/records.py",
+    "runtime/strategy.py",
     "__main__.py",
 ]
 
@@ -92,6 +99,8 @@ ENTRY_POINTS = [
     CircuitDevice.__init__,
     CircuitDevice.sample,
     ExactNckSolver.solve,
+    solve,
+    BatchRunner.__init__,
     telemetry.span,
     telemetry.count,
     telemetry.gauge,

@@ -1,0 +1,207 @@
+"""Failure-path tests for the portfolio runtime.
+
+Covers the robustness layer: hung backends abandoned at their deadline
+(the acceptance criterion — a hung backend must not stall ``solve()``),
+raising backends degrading to the next option, retry-with-backoff
+counter math, and graceful degradation to the exact classical solver.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.runtime import (
+    AttemptRecord,
+    BackendPolicy,
+    PortfolioPolicy,
+    RetryPolicy,
+    solve,
+)
+from tests.test_runtime import StubBackend, two_var_env
+
+
+@pytest.fixture
+def recorder():
+    """A fresh enabled telemetry recorder, disabled again on teardown."""
+    rec = telemetry.enable()
+    yield rec
+    telemetry.disable()
+
+
+class TestHungBackends:
+    def test_hung_backend_cannot_stall_solve_past_its_deadline(self, recorder):
+        """The forced-timeout acceptance test: the backend sleeps for 10 s
+        but solve() must return around the 0.3 s deadline, degraded."""
+        hanger = StubBackend("hanger", script=("hang",))
+        t0 = time.perf_counter()
+        result = solve(
+            two_var_env(), backends=[hanger], strategy="race", timeout=0.3, seed=1
+        )
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 2.5, f"solve() stalled for {elapsed:.2f} s"
+        assert result.degraded
+        assert result.winner == "classical-exact"
+        assert result.solution.all_hard_satisfied
+        hung = result.attempts_for("hanger")
+        assert [a.status for a in hung] == ["timeout"]
+        assert hung[0].wall_s == pytest.approx(0.3, abs=0.25)
+        assert recorder.counter_value("runtime.timeouts") == 1
+        assert recorder.counter_value("runtime.degraded") == 1
+        assert hanger._cancel.is_set()  # cooperative cancel was signalled
+
+    def test_timed_out_backend_is_never_retried(self):
+        hanger = StubBackend("hanger", script=("hang",))
+        policy = PortfolioPolicy(
+            default=BackendPolicy(timeout=0.2, retry=RetryPolicy(max_attempts=5))
+        )
+        solve(two_var_env(), backends=[hanger], strategy="race", policy=policy, seed=1)
+        assert hanger.calls == 1
+
+    def test_hung_loser_does_not_delay_a_race_winner(self):
+        hanger = StubBackend("hanger", script=("hang",))
+        quick = StubBackend("quick", delay=0.01)
+        t0 = time.perf_counter()
+        result = solve(
+            two_var_env(), backends=[hanger, quick], strategy="race", seed=1
+        )
+        assert time.perf_counter() - t0 < 2.5
+        assert result.winner == "quick"
+        assert not result.degraded
+        assert result.attempts_for("hanger")[0].status == "cancelled"
+
+    def test_total_timeout_abandons_every_outstanding_attempt(self):
+        hangers = [StubBackend(f"hang{i}", script=("hang",)) for i in range(2)]
+        policy = PortfolioPolicy.with_timeout(None, total_timeout=0.3)
+        t0 = time.perf_counter()
+        result = solve(
+            two_var_env(), backends=hangers, strategy="ensemble", policy=policy, seed=1
+        )
+        assert time.perf_counter() - t0 < 2.5
+        assert result.degraded and result.winner == "classical-exact"
+        assert sorted(a.status for a in result.attempts if a.backend != "classical-exact") == [
+            "timeout",
+            "timeout",
+        ]
+
+
+class TestErrorDegradation:
+    def test_raising_backend_degrades_to_next_in_fallback(self):
+        bad = StubBackend("bad", script=("error",))
+        good = StubBackend("good")
+        result = solve(
+            two_var_env(), backends=[bad, good], strategy="fallback", seed=1
+        )
+        assert result.winner == "good"
+        assert not result.degraded  # a requested backend recovered
+        assert result.attempts_for("bad")[0].error is not None
+
+    def test_all_backends_raising_degrades_to_classical(self, recorder):
+        bad1 = StubBackend("bad1", script=("error",))
+        bad2 = StubBackend("bad2", script=("error",))
+        result = solve(
+            two_var_env(), backends=[bad1, bad2], strategy="race", seed=1
+        )
+        assert result.degraded
+        assert result.winner == "classical-exact"
+        assert recorder.counter_value("runtime.errors") == 2
+        prov = result.solution.metadata["portfolio"]
+        assert prov["degraded"] is True
+
+
+class TestRetryMath:
+    def test_backoff_schedule_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=9,
+            backoff_base=0.05,
+            backoff_factor=2.0,
+            backoff_max=2.0,
+            jitter=0.0,
+        )
+        assert policy.delay(1) == pytest.approx(0.05)
+        assert policy.delay(2) == pytest.approx(0.10)
+        assert policy.delay(3) == pytest.approx(0.20)
+        assert policy.delay(7) == pytest.approx(2.0)  # 0.05 * 2**6 = 3.2, capped
+
+    def test_backoff_jitter_is_bounded_and_reproducible(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0, jitter=0.25)
+        draws = [policy.delay(1, np.random.default_rng(7)) for _ in range(3)]
+        assert draws[0] == draws[1] == draws[2]  # same stream, same delay
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert 0.75 <= policy.delay(1, rng) <= 1.25
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay(0)
+        with pytest.raises(ValueError, match="unknown attempt status"):
+            AttemptRecord(backend="x", attempt=1, status="exploded")
+
+    def test_invalid_samples_retried_with_counted_attempts(self, recorder):
+        flaky = StubBackend("flaky", script=("invalid", "invalid", "valid"))
+        policy = PortfolioPolicy(
+            default=BackendPolicy(
+                retry=RetryPolicy(
+                    max_attempts=3, backoff_base=0.01, backoff_factor=2.0, jitter=0.0
+                )
+            )
+        )
+        t0 = time.perf_counter()
+        result = solve(
+            two_var_env(), backends=[flaky], strategy="race", policy=policy, seed=3
+        )
+        elapsed = time.perf_counter() - t0
+        assert flaky.calls == 3
+        assert [(a.attempt, a.status) for a in result.attempts] == [
+            (1, "invalid"),
+            (2, "invalid"),
+            (3, "ok"),
+        ]
+        assert elapsed >= 0.01 + 0.02  # both backoff delays were honored
+        assert recorder.counter_value("runtime.retries") == 2
+        assert recorder.counter_value("runtime.attempts") == 3
+        assert not result.degraded
+
+    def test_retry_budget_exhaustion_degrades(self, recorder):
+        hopeless = StubBackend("hopeless", script=("invalid",))
+        policy = PortfolioPolicy(
+            default=BackendPolicy(
+                retry=RetryPolicy(max_attempts=2, backoff_base=0.01, jitter=0.0)
+            )
+        )
+        result = solve(
+            two_var_env(), backends=[hopeless], strategy="race", policy=policy, seed=3
+        )
+        assert hopeless.calls == 2
+        assert result.degraded and result.winner == "classical-exact"
+        assert recorder.counter_value("runtime.retries") == 1
+        assert recorder.counter_value("runtime.degraded") == 1
+
+    def test_deterministic_backends_are_never_retried(self):
+        stubborn = StubBackend("stubborn", script=("invalid",), deterministic=True)
+        policy = PortfolioPolicy(
+            default=BackendPolicy(retry=RetryPolicy(max_attempts=5))
+        )
+        result = solve(
+            two_var_env(), backends=[stubborn], strategy="race", policy=policy, seed=3
+        )
+        assert stubborn.calls == 1
+        assert result.degraded
+
+    def test_retry_invalid_master_switch(self):
+        flaky = StubBackend("flaky", script=("invalid", "valid"))
+        policy = PortfolioPolicy(
+            default=BackendPolicy(retry_invalid=False), degrade_to_classical=True
+        )
+        result = solve(
+            two_var_env(), backends=[flaky], strategy="race", policy=policy, seed=3
+        )
+        assert flaky.calls == 1
+        assert result.degraded
