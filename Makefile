@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-slow docs-check lint-docstrings bench bench-smoke trace-table1 all-checks
+.PHONY: test test-slow docs-check lint-docstrings bench bench-smoke bench-compile trace-table1 all-checks
 
 test:            ## tier-1 test suite (excludes @slow, per pyproject addopts)
 	$(PYTHON) -m pytest -x -q
@@ -21,8 +21,11 @@ lint-docstrings: ## docstring presence + parameter-coverage lint
 bench:           ## regenerate every table & figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-bench-smoke:     ## tiny-budget portfolio-runtime bench (serial vs race)
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_runtime.py --benchmark-only -s
+bench-smoke:     ## tiny-budget benches: portfolio runtime + compiler pipeline
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_runtime.py benchmarks/bench_compile_pipeline.py --benchmark-only -s
+
+bench-compile:   ## compiler-pipeline bench (cold vs warm disk cache, serial vs jobs)
+	$(PYTHON) -m pytest benchmarks/bench_compile_pipeline.py --benchmark-only -s
 
 trace-table1:    ## smoke-run the telemetry pipeline end to end
 	$(PYTHON) -m repro trace table1

@@ -13,6 +13,8 @@ Usage::
     python -m repro solve vertex-cover --n 20 \\
         [--backends classical,annealing] [--strategy race] \\
         [--timeout S] [--retries K] [--seed N]
+    python -m repro compile 3sat --n 20 \\
+        [--jobs N] [--cache-dir DIR] [--no-disk-cache] [--no-cache]
 
 Artifact subcommands print the measured rows/series of one paper
 artifact (the same output the benchmark harness produces, without
@@ -20,7 +22,12 @@ pytest).  ``solve`` generates a problem instance from the Table I
 library and runs it through the :mod:`repro.runtime` portfolio —
 racing, merging, or falling back across the classical, annealing, and
 QAOA backends — then prints the winning solution and the per-attempt
-provenance.
+provenance.  ``compile`` runs the same instance through the staged
+compiler pipeline only (see ``docs/compiler.md``) and prints the QUBO
+shape, the per-pass provenance table, and the in-memory/on-disk cache
+statistics — with ``--jobs N`` fanning MILP synthesis over worker
+processes and ``--cache-dir DIR`` pointing the persistent template
+store somewhere explicit.
 
 With ``trace`` (or ``--telemetry``, or ``REPRO_TELEMETRY=1`` in the
 environment) the run is instrumented: every pipeline stage records
@@ -278,6 +285,82 @@ def _solve(args) -> None:
 
 
 # ---------------------------------------------------------------------------
+# The compiler subcommand
+# ---------------------------------------------------------------------------
+
+
+def _configure_compile(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``compile``-specific arguments to its subparser."""
+    parser.add_argument("problem", choices=SOLVE_PROBLEMS, help="problem family")
+    parser.add_argument(
+        "--n", type=int, default=12, help="instance size (nodes/elements/variables)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for MILP-bound template synthesis",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk template store directory (default: REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the on-disk template store for this run",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable template caching entirely (the ablation mode)",
+    )
+
+
+def _compile(args) -> None:
+    """Compile a generated problem instance and print the pass breakdown."""
+    instance = _build_problem(args.problem, args.n, args.seed)
+    env = instance.build_env()
+    print(f"problem  {args.problem} --n {args.n}: {env!r}")
+    try:
+        compiled = env.to_qubo(
+            cache=not args.no_cache,
+            jobs=args.jobs,
+            disk_cache=False if (args.no_disk_cache or args.no_cache) else None,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
+    except ValueError as err:
+        # Invalid option combinations (e.g. --no-cache with --jobs > 1)
+        # follow the argparse convention: message on stderr, exit 2.
+        print(f"repro compile: error: {err}", file=sys.stderr)
+        raise SystemExit(2) from None
+    q = compiled.qubo
+    print(
+        f"qubo     {len(compiled.variables)} variables + "
+        f"{len(compiled.ancillas)} ancillas, "
+        f"{len(q.linear)} linear + {len(q.quadratic)} quadratic terms, "
+        f"hard_scale {compiled.hard_scale:g}"
+    )
+    print("passes")
+    for record in compiled.provenance:
+        print(f"  {record.describe()}")
+    stats = compiled.cache_stats
+    print(
+        f"cache    memory {stats['hits']} hits / {stats['misses']} misses, "
+        f"{stats['templates']} templates"
+    )
+    if stats.get("disk_enabled"):
+        print(
+            f"         disk {stats['disk_hits']} hits / {stats['disk_misses']} misses"
+            + (f", {stats['disk_errors']} write errors" if stats["disk_errors"] else "")
+        )
+    else:
+        print("         disk tier disabled")
+
+
+# ---------------------------------------------------------------------------
 # The command registry — the single source of truth for the CLI surface
 # ---------------------------------------------------------------------------
 
@@ -318,6 +401,13 @@ COMMANDS: tuple[Command, ...] = (
         "portfolio-solve a generated problem instance",
         _solve,
         configure=_configure_solve,
+        artifact=False,
+    ),
+    Command(
+        "compile",
+        "compile a generated problem instance through the staged pipeline",
+        _compile,
+        configure=_configure_compile,
         artifact=False,
     ),
 )

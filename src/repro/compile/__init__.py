@@ -1,7 +1,20 @@
-"""Constraint → QUBO compilation (the paper's Section V pipeline)."""
+"""Constraint → QUBO compilation (the paper's Section V pipeline).
 
-from .cache import QUBOCache
+Compilation runs through the staged pipeline in
+:mod:`repro.compile.pipeline` (canonicalize → plan → synthesize →
+assemble); :func:`compile_program` is the public entry point and
+``docs/compiler.md`` the narrative description.
+"""
+
+from .cache import QUBOCache, Template, build_template, instantiate_template, template_key
 from .closed_forms import closed_form_qubo
+from .pipeline import (
+    CACHE_DIR_ENV,
+    PassProvenance,
+    PipelineConfig,
+    TemplateStore,
+    run_pipeline,
+)
 from .program import ANCILLA_PREFIX, CompiledProgram, compile_constraint, compile_program
 from .synthesize import (
     GAP,
@@ -15,17 +28,26 @@ from .validate import ProgramValidationError, verify_compiled_program
 
 __all__ = [
     "ANCILLA_PREFIX",
+    "CACHE_DIR_ENV",
     "CompiledProgram",
     "GAP",
     "MAX_ANCILLAS",
+    "PassProvenance",
+    "PipelineConfig",
     "QUBOCache",
     "SynthesisResult",
+    "Template",
+    "TemplateStore",
     "TruthTable",
+    "build_template",
     "build_truth_table",
     "closed_form_qubo",
     "compile_constraint",
     "compile_program",
+    "instantiate_template",
+    "run_pipeline",
     "synthesize_constraint_qubo",
+    "template_key",
     "verify_constraint_qubo",
     "ProgramValidationError",
     "verify_compiled_program",

@@ -1,9 +1,9 @@
-"""Symmetric-constraint QUBO cache.
+"""Symmetric-constraint QUBO templates and the in-memory template cache.
 
 The paper's timing discussion (Section VIII-C) observes that the reference
 implementation "redundantly computes QUBOs for symmetric constraints
 instead of caching previously computed QUBOs," costing 40–50× the direct
-classical solve time.  This module supplies that cache: constraints whose
+classical solve time.  This module supplies the fix: constraints whose
 sorted multiplicity profile and selection set agree share a synthesized
 QUBO *template* over positional placeholder names, which is relabeled onto
 each concrete constraint's variables.
@@ -13,6 +13,16 @@ the ``i``-th smallest multiplicity, so a concrete constraint's unique
 variables are matched to template slots after sorting by (multiplicity,
 name) — any variables of equal multiplicity are interchangeable by
 symmetry of the TRUE-count.
+
+Two consumers build on the primitives here:
+
+* :class:`QUBOCache` — the original per-compilation in-memory cache,
+  still used directly by tests and diagnostics;
+* :mod:`repro.compile.pipeline` — the staged compiler, which calls
+  :func:`build_template` / :func:`instantiate_template` itself so it can
+  layer the in-memory tier above the on-disk
+  :class:`~repro.compile.pipeline.store.TemplateStore` and synthesize
+  templates in parallel.
 """
 
 from __future__ import annotations
@@ -25,17 +35,95 @@ from ..core.types import Constraint, SelectionSet, Var, VariableCollection
 from ..qubo.model import QUBO
 from .synthesize import SynthesisResult, synthesize_constraint_qubo
 
-#: Placeholder variable-name prefixes inside cached templates.
-_SLOT = "_slot{}"
-_ANC = "_tanc{}"
+#: Placeholder variable-name formats inside cached templates: ``SLOT`` for
+#: the constraint's (multiplicity-sorted) unique variables, ``ANC`` for
+#: template-local ancillas.
+SLOT = "_slot{}"
+ANC = "_tanc{}"
+
+# Backward-compatible private aliases (pre-pipeline spelling).
+_SLOT = SLOT
+_ANC = ANC
 
 
-@dataclass
-class _Template:
+@dataclass(frozen=True)
+class Template:
+    """A synthesized QUBO over placeholder slot/ancilla names.
+
+    Templates are position-addressed (``_slot0``, ``_slot1``, …, ancillas
+    ``_tanc0``…) and therefore shareable across every constraint in the
+    same :func:`~repro.core.symmetry.cache_key` class, in memory or on
+    disk.
+    """
+
     qubo: QUBO
     num_ancillas: int
     used_closed_form: bool
     exact_penalty: bool
+
+
+# Backward-compatible private alias.
+_Template = Template
+
+
+def template_key(constraint: Constraint, exact_penalty: bool) -> tuple:
+    """The key under which ``constraint`` shares a template.
+
+    Combines :func:`~repro.core.symmetry.cache_key` (sorted multiplicity
+    profile + selection set) with the requested penalty exactness — soft
+    constraints compile with ``exact_penalty=True`` and must not share
+    templates with hard ones.
+    """
+    return (cache_key(constraint), exact_penalty)
+
+
+def build_template(constraint: Constraint, exact_penalty: bool) -> Template:
+    """Synthesize the slot-named template for ``constraint``'s class.
+
+    The constraint is first canonicalized onto placeholder slot names
+    (:func:`canonical_constraint`), then synthesized; template ancillas
+    are renumbered to a gapless ``_tanc0.._tancK-1`` because synthesis
+    may consume namer outputs for discarded attempts (e.g. a closed form
+    rejected for inexact penalties).
+
+    ``exact_penalty`` requests invalid assignments pinned to exactly the
+    unit gap (soft-constraint compilation).
+    """
+    canonical = canonical_constraint(constraint)
+    counter = iter(range(10**6))
+    result = synthesize_constraint_qubo(
+        canonical,
+        ancilla_namer=lambda: ANC.format(next(counter)),
+        exact_penalty=exact_penalty,
+    )
+    renumber = {old: ANC.format(i) for i, old in enumerate(result.ancillas)}
+    return Template(
+        qubo=result.qubo.relabeled(renumber),
+        num_ancillas=len(result.ancillas),
+        used_closed_form=result.used_closed_form,
+        exact_penalty=result.exact_penalty,
+    )
+
+
+def instantiate_template(
+    template: Template, constraint: Constraint, ancilla_namer
+) -> SynthesisResult:
+    """Relabel ``template`` onto ``constraint``'s concrete variables.
+
+    ``ancilla_namer`` yields fresh program-unique ancilla names; each
+    instantiation gets its own ancillas (ancillas are never shared
+    between constraints).
+    """
+    mapping = slot_mapping(constraint)
+    ancillas = tuple(ancilla_namer() for _ in range(template.num_ancillas))
+    for i, anc in enumerate(ancillas):
+        mapping[ANC.format(i)] = anc
+    return SynthesisResult(
+        qubo=template.qubo.relabeled(mapping),
+        ancillas=ancillas,
+        used_closed_form=template.used_closed_form,
+        exact_penalty=template.exact_penalty,
+    )
 
 
 @dataclass
@@ -50,7 +138,7 @@ class QUBOCache:
     enabled: bool = True
     hits: int = 0
     misses: int = 0
-    _templates: dict[tuple, _Template] = field(default_factory=dict)
+    _templates: dict[tuple, Template] = field(default_factory=dict)
 
     def synthesize(
         self, constraint: Constraint, ancilla_namer, exact_penalty: bool = False
@@ -68,46 +156,18 @@ class QUBOCache:
                 constraint, ancilla_namer=ancilla_namer, exact_penalty=exact_penalty
             )
 
-        key = (cache_key(constraint), exact_penalty)
+        key = template_key(constraint, exact_penalty)
         template = self._templates.get(key)
         if template is None:
             self.misses += 1
             telemetry.count("compile.cache.misses")
-            template = self._build_template(constraint, exact_penalty)
+            template = build_template(constraint, exact_penalty)
             self._templates[key] = template
         else:
             self.hits += 1
             telemetry.count("compile.cache.hits")
 
-        mapping = _slot_mapping(constraint)
-        ancillas = tuple(ancilla_namer() for _ in range(template.num_ancillas))
-        for i, anc in enumerate(ancillas):
-            mapping[_ANC.format(i)] = anc
-        return SynthesisResult(
-            qubo=template.qubo.relabeled(mapping),
-            ancillas=ancillas,
-            used_closed_form=template.used_closed_form,
-            exact_penalty=template.exact_penalty,
-        )
-
-    def _build_template(self, constraint: Constraint, exact_penalty: bool) -> _Template:
-        canonical = _canonical_constraint(constraint)
-        counter = iter(range(10**6))
-        result = synthesize_constraint_qubo(
-            canonical,
-            ancilla_namer=lambda: _ANC.format(next(counter)),
-            exact_penalty=exact_penalty,
-        )
-        # Canonicalize ancilla names to _tanc0.._tancK-1: synthesis may
-        # have consumed namer outputs for discarded attempts (e.g. a
-        # closed form rejected for inexact penalties), leaving gaps.
-        renumber = {old: _ANC.format(i) for i, old in enumerate(result.ancillas)}
-        return _Template(
-            qubo=result.qubo.relabeled(renumber),
-            num_ancillas=len(result.ancillas),
-            used_closed_form=result.used_closed_form,
-            exact_penalty=result.exact_penalty,
-        )
+        return instantiate_template(template, constraint, ancilla_namer)
 
     def __len__(self) -> int:
         return len(self._templates)
@@ -119,11 +179,11 @@ def _sorted_unique(constraint: Constraint) -> list[tuple[int, Var]]:
     return sorted(((m, v) for v, m in counts.items()), key=lambda t: (t[0], t[1].name))
 
 
-def _canonical_constraint(constraint: Constraint) -> Constraint:
+def canonical_constraint(constraint: Constraint) -> Constraint:
     """The representative constraint over placeholder slot names."""
     elements: list[Var] = []
     for i, (mult, _var) in enumerate(_sorted_unique(constraint)):
-        elements.extend([Var(_SLOT.format(i))] * mult)
+        elements.extend([Var(SLOT.format(i))] * mult)
     return Constraint(
         VariableCollection(elements),
         SelectionSet(constraint.selection.values),
@@ -131,9 +191,14 @@ def _canonical_constraint(constraint: Constraint) -> Constraint:
     )
 
 
-def _slot_mapping(constraint: Constraint) -> dict[str, str]:
+def slot_mapping(constraint: Constraint) -> dict[str, str]:
     """Map template slot names to the concrete constraint's variables."""
     return {
-        _SLOT.format(i): var.name
+        SLOT.format(i): var.name
         for i, (_mult, var) in enumerate(_sorted_unique(constraint))
     }
+
+
+# Backward-compatible private aliases.
+_canonical_constraint = canonical_constraint
+_slot_mapping = slot_mapping

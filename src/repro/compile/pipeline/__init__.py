@@ -1,0 +1,188 @@
+"""The staged compiler pipeline: canonicalize → plan → synthesize → assemble.
+
+:func:`run_pipeline` is the engine behind
+:func:`repro.compile.compile_program`.  Compilation is four explicit
+passes over an intermediate representation:
+
+1. **canonicalize** (:mod:`.canonicalize`) — intern variables and
+   deduplicate constraints into template classes keyed by
+   :func:`~repro.compile.cache.template_key`;
+2. **plan** (:mod:`.plan`) — classify each class into closed-form / LP /
+   MILP synthesis tiers and emit an ordered work-list;
+3. **synthesize** (:mod:`.synthesis`) — resolve each class's template
+   from the on-disk :class:`~repro.compile.pipeline.store.TemplateStore`
+   or by fresh synthesis, optionally in parallel worker processes;
+4. **assemble** (:mod:`.assemble`) — instantiate, scale, and sum into
+   the final :class:`~repro.compile.program.CompiledProgram`.
+
+Each pass runs under a ``compile.pass.<name>`` telemetry span and
+contributes a :class:`~repro.compile.pipeline.base.PassProvenance`
+record to the compiled program, so ``python -m repro compile`` can show
+where compilation time went.
+
+The pipeline is byte-compatible with the pre-pipeline monolithic
+compiler: identical QUBOs, ancilla names, cache statistics, and
+telemetry for every supported option combination.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from ... import telemetry
+from .assemble import assemble
+from .base import CACHE_DIR_ENV, PassProvenance, PipelineConfig
+from .canonicalize import CanonicalProgram, ClassMember, ConstraintClass, canonicalize
+from .plan import (
+    TIER_CLOSED_FORM,
+    TIER_LP,
+    TIER_MILP,
+    SynthesisPlan,
+    WorkItem,
+    plan,
+)
+from .store import SCHEMA_VERSION, TemplateStore
+from .synthesis import SynthesisOutcome, synthesize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...core.env import Env
+    from ..program import CompiledProgram
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "SCHEMA_VERSION",
+    "TIER_CLOSED_FORM",
+    "TIER_LP",
+    "TIER_MILP",
+    "CanonicalProgram",
+    "ClassMember",
+    "ConstraintClass",
+    "PassProvenance",
+    "PipelineConfig",
+    "SynthesisOutcome",
+    "SynthesisPlan",
+    "TemplateStore",
+    "WorkItem",
+    "assemble",
+    "canonicalize",
+    "plan",
+    "run_pipeline",
+    "synthesize",
+]
+
+
+def run_pipeline(env: "Env", config: PipelineConfig) -> "CompiledProgram":
+    """Compile ``env`` through the four-pass pipeline under ``config``.
+
+    Raises
+    ------
+    UnsatisfiableError
+        If any single hard constraint is unsatisfiable in isolation.
+    """
+    from ..program import ANCILLA_PREFIX, CompiledProgram
+
+    counter = iter(range(10**9))
+
+    def ancilla_namer() -> str:
+        while True:
+            name = f"{ANCILLA_PREFIX}{next(counter)}"
+            if name not in env:
+                return name
+
+    store = TemplateStore(config.resolved_cache_dir()) if config.disk_enabled else None
+    provenance: list[PassProvenance] = []
+
+    with telemetry.span(
+        "compile.program",
+        constraints=len(env.constraints),
+        variables=env.num_variables,
+        cache=config.cache,
+    ) as tspan:
+        t0 = perf_counter()
+        with telemetry.span("compile.pass.canonicalize"):
+            program = canonicalize(env, config)
+        provenance.append(
+            PassProvenance(
+                name="canonicalize",
+                wall_s=perf_counter() - t0,
+                items=program.num_constraints,
+                detail={
+                    "classes": len(program.classes),
+                    "skipped_soft": len(program.skipped_soft),
+                },
+            )
+        )
+
+        t0 = perf_counter()
+        with telemetry.span("compile.pass.plan"):
+            work = plan(program, config)
+        provenance.append(
+            PassProvenance(
+                name="plan",
+                wall_s=perf_counter() - t0,
+                items=len(work.items),
+                detail=work.tier_counts(),
+            )
+        )
+
+        t0 = perf_counter()
+        with telemetry.span("compile.pass.synthesize", jobs=config.jobs):
+            outcome = synthesize(work, config, ancilla_namer, store)
+        provenance.append(
+            PassProvenance(
+                name="synthesize",
+                wall_s=perf_counter() - t0,
+                items=len(work.items),
+                detail={
+                    "synthesized": outcome.synthesized,
+                    "pooled": outcome.pooled,
+                    "disk_hits": outcome.disk_hits,
+                    "disk_misses": outcome.disk_misses,
+                },
+            )
+        )
+
+        t0 = perf_counter()
+        with telemetry.span("compile.pass.assemble"):
+            fields = assemble(work, outcome, config, ancilla_namer)
+        provenance.append(
+            PassProvenance(
+                name="assemble",
+                wall_s=perf_counter() - t0,
+                items=program.num_constraints,
+                detail={
+                    "ancillas": len(fields["ancillas"]),
+                    "hard_scale": fields["hard_scale"],
+                },
+            )
+        )
+
+        tspan.set(
+            ancillas=len(fields["ancillas"]),
+            hard_scale=fields["hard_scale"],
+            cache_hits=outcome.cache_hits,
+            cache_misses=outcome.cache_misses,
+        )
+        telemetry.gauge("compile.cache.templates", len(outcome.templates))
+        telemetry.count("compile.programs")
+
+        cache_stats = {
+            "hits": outcome.cache_hits,
+            "misses": outcome.cache_misses,
+            "templates": len(outcome.templates),
+            "disk_enabled": store is not None,
+            "disk_hits": outcome.disk_hits,
+            "disk_misses": outcome.disk_misses,
+            "disk_errors": outcome.disk_errors,
+        }
+        return CompiledProgram(
+            qubo=fields["qubo"],
+            variables=fields["variables"],
+            ancillas=fields["ancillas"],
+            hard_scale=fields["hard_scale"],
+            constraint_qubos=fields["constraint_qubos"],
+            cache_stats=cache_stats,
+            soft_penalties_exact=fields["soft_penalties_exact"],
+            provenance=tuple(provenance),
+        )

@@ -1,0 +1,255 @@
+"""Persistent on-disk template store (the compiler's second cache tier).
+
+Templates — slot-named QUBOs synthesized once per
+:func:`~repro.compile.cache.template_key` class — survive the process in
+a directory of JSON files, one per template, addressed by a content hash
+of the key.  A second compilation of any problem sharing constraint
+classes with an earlier one (the common case: one-hot rows, vertex-cover
+edges, 3-SAT clauses) then skips LP/MILP synthesis entirely.
+
+The store is deliberately paranoid about its own contents: cache files
+are written by earlier processes, possibly by earlier *versions*, and
+possibly interrupted mid-write.  Every load fully validates structure,
+schema version, key echo, name shapes, and float finiteness; any
+deviation deletes the offending file and reports a miss so the template
+is simply resynthesized.  A corrupt cache can cost time, never
+correctness — and it must never crash a compilation.
+
+Writes are atomic (temp file + :func:`os.replace`) and best-effort: an
+unwritable cache directory degrades to in-memory-only operation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import re
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ... import telemetry
+from ...qubo.model import QUBO
+from ..cache import Template
+
+#: Bump whenever the on-disk payload layout or the synthesized-template
+#: semantics change; mismatched entries are discarded and resynthesized.
+SCHEMA_VERSION = 1
+
+_SLOT_OR_ANC = re.compile(r"_slot\d+$|_tanc\d+$")
+
+
+def _key_payload(key: tuple) -> dict:
+    """JSON-friendly form of a template key, echoed into each entry."""
+    (multiplicities, selection), exact_penalty = key
+    return {
+        "multiplicities": list(multiplicities),
+        "selection": list(selection),
+        "exact_penalty": bool(exact_penalty),
+    }
+
+
+def _filename(key: tuple) -> str:
+    """Content-addressed filename for ``key`` (stable across processes)."""
+    canon = json.dumps(
+        {"schema": SCHEMA_VERSION, **_key_payload(key)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:32] + ".json"
+
+
+def _checked_name(name: object) -> str:
+    """Validate a stored variable name (slot or template ancilla)."""
+    if not isinstance(name, str) or not _SLOT_OR_ANC.match(name):
+        raise ValueError(f"bad template variable name: {name!r}")
+    return name
+
+
+def _checked_float(value: object) -> float:
+    """Validate a stored coefficient: a real, finite number."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"bad coefficient: {value!r}")
+    out = float(value)
+    if not math.isfinite(out):
+        raise ValueError(f"non-finite coefficient: {value!r}")
+    return out
+
+
+@dataclass
+class TemplateStore:
+    """Schema-versioned directory of synthesized QUBO templates.
+
+    ``directory`` is created lazily on first write.  ``hits`` / ``misses``
+    / ``errors`` count loads that succeeded, loads that found nothing (or
+    found garbage), and writes that failed, for cache-statistics output.
+    """
+
+    directory: Path
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    _ready: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        """Normalize ``directory`` to a Path (string args accepted)."""
+        self.directory = Path(self.directory)
+
+    def path_for(self, key: tuple) -> Path:
+        """The cache file that would hold ``key``'s template."""
+        return self.directory / _filename(key)
+
+    def load(self, key: tuple) -> Template | None:
+        """Return the stored template for ``key``, or None on any doubt.
+
+        Unreadable, truncated, mis-schemaed, or otherwise invalid entries
+        are deleted so the slot is clean for the resynthesized template.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            telemetry.count("compile.disk_cache.misses")
+            return None
+        except (OSError, UnicodeDecodeError):
+            # Unreadable entry (permissions, a directory squatting on the
+            # name, binary garbage, I/O error): clear it out and
+            # resynthesize.
+            self._discard(path)
+            self.misses += 1
+            telemetry.count("compile.disk_cache.misses")
+            return None
+
+        try:
+            template = self._decode(json.loads(raw), key)
+        except (ValueError, TypeError, KeyError):
+            self._discard(path)
+            self.misses += 1
+            telemetry.count("compile.disk_cache.misses")
+            return None
+
+        self.hits += 1
+        telemetry.count("compile.disk_cache.hits")
+        return template
+
+    def store(self, key: tuple, template: Template) -> bool:
+        """Persist ``template`` under ``key`` (atomic, best-effort).
+
+        Returns False — and counts an error — when the directory cannot
+        be written; the compilation proceeds without persistence.
+        """
+        payload = self._encode(key, template)
+        try:
+            if not self._ready:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                self._ready = True
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.errors += 1
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        try:
+            entries = list(self.directory.iterdir())
+        except OSError:
+            return 0
+        for path in entries:
+            if path.suffix == ".json":
+                self._discard(path)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for p in self.directory.iterdir() if p.suffix == ".json")
+        except OSError:
+            return 0
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/error counters as a plain dict (for ``cache_stats``)."""
+        return {"hits": self.hits, "misses": self.misses, "errors": self.errors}
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Remove a bad entry, whatever it turned out to be."""
+        try:
+            path.unlink()
+        except IsADirectoryError:
+            shutil.rmtree(path, ignore_errors=True)
+        except OSError:
+            if path.is_dir():
+                shutil.rmtree(path, ignore_errors=True)
+
+    @staticmethod
+    def _encode(key: tuple, template: Template) -> dict:
+        """The JSON payload for one template (deterministic ordering)."""
+        qubo = template.qubo
+        return {
+            "schema": SCHEMA_VERSION,
+            "key": _key_payload(key),
+            "offset": qubo.offset,
+            "linear": sorted(qubo.linear.items()),
+            "quadratic": sorted(
+                (a, b, coeff) for (a, b), coeff in qubo.quadratic.items()
+            ),
+            "num_ancillas": template.num_ancillas,
+            "used_closed_form": template.used_closed_form,
+            "exact_penalty": template.exact_penalty,
+        }
+
+    @staticmethod
+    def _decode(payload: object, key: tuple) -> Template:
+        """Rebuild a Template, validating everything; raises on any doubt."""
+        if not isinstance(payload, dict):
+            raise ValueError("payload is not an object")
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"schema mismatch: {payload.get('schema')!r}")
+        if payload.get("key") != _key_payload(key):
+            raise ValueError("key echo does not match requested key")
+
+        qubo = QUBO(offset=_checked_float(payload["offset"]))
+        for entry in payload["linear"]:
+            name, coeff = entry
+            qubo.add_linear(_checked_name(name), _checked_float(coeff))
+        for entry in payload["quadratic"]:
+            a, b, coeff = entry
+            qubo.add_quadratic(
+                _checked_name(a), _checked_name(b), _checked_float(coeff)
+            )
+
+        num_ancillas = payload["num_ancillas"]
+        if isinstance(num_ancillas, bool) or not isinstance(num_ancillas, int):
+            raise ValueError(f"bad num_ancillas: {num_ancillas!r}")
+        if num_ancillas < 0:
+            raise ValueError(f"bad num_ancillas: {num_ancillas!r}")
+        used_closed_form = payload["used_closed_form"]
+        exact_penalty = payload["exact_penalty"]
+        if not isinstance(used_closed_form, bool) or not isinstance(
+            exact_penalty, bool
+        ):
+            raise ValueError("bad template flags")
+        return Template(
+            qubo=qubo,
+            num_ancillas=num_ancillas,
+            used_closed_form=used_closed_form,
+            exact_penalty=exact_penalty,
+        )

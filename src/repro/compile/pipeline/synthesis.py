@@ -1,0 +1,194 @@
+"""Pass 3 — synthesize: execute the work-list, cheapest source first.
+
+For every planned template class the pass resolves a
+:class:`~repro.compile.cache.Template` from the cheapest available
+source:
+
+1. the on-disk :class:`~repro.compile.pipeline.store.TemplateStore`
+   (when enabled) — a previous process already paid for the synthesis;
+2. fresh synthesis — inline for closed-form/LP work, optionally fanned
+   out over a ``ProcessPoolExecutor`` for the MILP-bound items when
+   ``config.jobs > 1``.
+
+Results are collected in work-list order, so the outcome — and every
+downstream QUBO — is deterministic regardless of worker completion
+order.  Newly synthesized templates are written back to the store
+(best-effort) so the next process starts warm.
+
+Cache statistics keep the historical in-memory semantics regardless of
+the disk tier: each class's first member is a miss (a template had to be
+*resolved*, from disk or from scratch), every further member is a hit.
+Disk traffic is reported separately (``disk_hits`` / ``disk_misses``).
+
+With ``config.cache=False`` (the ablation) there are no templates at
+all: every constraint is synthesized directly, serially, with the
+program's own ancilla namer — reproducing the reference implementation's
+redundant recomputation byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ... import telemetry
+from ...core.types import Constraint
+from ..cache import Template, build_template
+from ..synthesize import SynthesisResult, synthesize_constraint_qubo
+from .base import PipelineConfig
+from .plan import TIER_MILP, SynthesisPlan, WorkItem
+from .store import TemplateStore
+
+
+def _worker_build_template(constraint: Constraint, exact_penalty: bool) -> Template:
+    """Process-pool entry point: synthesize one template.
+
+    Runs in a worker process, so telemetry recorded there is invisible to
+    the parent — the pass replicates the synthesis counters after
+    collecting each result.  The template's ancillas are internal
+    ``_tanc`` placeholders, making the result independent of worker
+    identity and completion order.
+    """
+    return build_template(constraint, exact_penalty)
+
+
+@dataclass
+class SynthesisOutcome:
+    """Pass-3 output: resolved templates plus cache accounting.
+
+    ``templates`` maps class key → template (cache=True); ``direct`` maps
+    constraint index → synthesis result (cache=False).  ``pooled`` counts
+    templates built in worker processes; ``synthesized`` counts all fresh
+    builds (pooled or inline) as opposed to disk loads.
+    """
+
+    templates: dict = field(default_factory=dict)
+    direct: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_errors: int = 0
+    synthesized: int = 0
+    pooled: int = 0
+
+
+def _replicate_worker_telemetry(template: Template) -> None:
+    """Re-emit the synthesis counters a worker process recorded privately."""
+    telemetry.count("compile.synthesize.calls")
+    telemetry.count("compile.ancillas", template.num_ancillas)
+    if template.used_closed_form:
+        telemetry.count("compile.synthesize.closed_form")
+
+
+def _pool_build(
+    pooled: list[WorkItem], jobs: int
+) -> Mapping[tuple, Template] | None:
+    """Build ``pooled`` items' templates in worker processes.
+
+    Returns None when no pool can be created (restricted environments) so
+    the caller falls back to inline synthesis.  Results are keyed by
+    class key and collected in submission order.
+    """
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(pooled)))
+    except (OSError, NotImplementedError, ValueError):
+        return None
+    built: dict[tuple, Template] = {}
+    with executor:
+        futures = [
+            executor.submit(
+                _worker_build_template, item.cls.representative, item.cls.exact_penalty
+            )
+            for item in pooled
+        ]
+        for item, future in zip(pooled, futures):
+            template = future.result()
+            _replicate_worker_telemetry(template)
+            built[item.cls.key] = template
+    return built
+
+
+def synthesize(
+    plan: SynthesisPlan,
+    config: PipelineConfig,
+    ancilla_namer: Callable[[], str],
+    store: TemplateStore | None,
+) -> SynthesisOutcome:
+    """Run pass 3 on ``plan`` under ``config``.
+
+    ``ancilla_namer`` yields program-unique ancilla names (consumed only
+    on the direct, cache-disabled path — template synthesis uses internal
+    placeholder ancillas); ``store`` is the optional disk tier.
+    """
+    outcome = SynthesisOutcome()
+
+    # Unsatisfiable soft constraints were dropped in pass 1, but each one
+    # historically counted as a cache miss (synthesis was attempted).
+    for _ in plan.program.skipped_soft:
+        outcome.cache_misses += 1
+        telemetry.count("compile.cache.misses")
+
+    if not config.cache:
+        for item in plan.items:
+            (member,) = item.cls.members
+            outcome.cache_misses += 1
+            telemetry.count("compile.cache.misses")
+            outcome.direct[member.index] = synthesize_constraint_qubo(
+                member.constraint,
+                ancilla_namer=ancilla_namer,
+                exact_penalty=member.constraint.soft,
+            )
+            outcome.synthesized += 1
+        return outcome
+
+    # One miss per class (first member), one hit per further member.
+    for item in plan.items:
+        outcome.cache_misses += 1
+        telemetry.count("compile.cache.misses")
+        reuse = item.cls.multiplicity - 1
+        if reuse:
+            outcome.cache_hits += reuse
+            telemetry.count("compile.cache.hits", reuse)
+
+    # Tier 2: the disk store.
+    pending: list[WorkItem] = []
+    if store is not None:
+        for item in plan.items:
+            template = store.load(item.cls.key)
+            if template is None:
+                pending.append(item)
+            else:
+                outcome.templates[item.cls.key] = template
+    else:
+        pending = list(plan.items)
+
+    # Fresh synthesis: MILP-bound items may fan out to worker processes.
+    pooled = [i for i in pending if i.tier == TIER_MILP] if config.jobs > 1 else []
+    if pooled:
+        built = _pool_build(pooled, config.jobs)
+        if built is None:
+            pooled = []  # pool unavailable; synthesize inline below
+        else:
+            outcome.templates.update(built)
+            outcome.pooled = len(built)
+            outcome.synthesized += len(built)
+    pooled_keys = {item.cls.key for item in pooled}
+
+    for item in pending:
+        if item.cls.key in pooled_keys:
+            continue
+        template = build_template(item.cls.representative, item.cls.exact_penalty)
+        outcome.templates[item.cls.key] = template
+        outcome.synthesized += 1
+
+    # Write fresh templates back for the next process (best-effort).
+    if store is not None:
+        for item in pending:
+            store.store(item.cls.key, outcome.templates[item.cls.key])
+        outcome.disk_hits = store.hits
+        outcome.disk_misses = store.misses
+        outcome.disk_errors = store.errors
+
+    return outcome

@@ -4,6 +4,14 @@ Each constraint compiles to a per-constraint QUBO whose valid assignments
 sit at energy 0 with a unit penalty gap; the program QUBO is their sum
 (QUBOs are compositional with respect to addition).
 
+Since the staged-pipeline refactor this module is the public façade:
+:func:`compile_program` validates its options into a
+:class:`~repro.compile.pipeline.PipelineConfig` and hands off to
+:func:`~repro.compile.pipeline.run_pipeline`, which runs the four passes
+(canonicalize → plan → synthesize → assemble) described in
+``docs/compiler.md``.  The pipeline's outputs are byte-compatible with
+the pre-pipeline monolithic compiler.
+
 Hard/soft balancing
 -------------------
 Soft-constraint QUBOs enter the sum with weight 1, so each violated soft
@@ -23,10 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
-from .. import telemetry
-from ..core.types import Constraint, UnsatisfiableError
+from ..core.types import Constraint
 from ..qubo.model import QUBO
-from .cache import QUBOCache
 from .synthesize import GAP
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,6 +67,10 @@ class CompiledProgram:
     constraint_qubos:
         Per-constraint scaled QUBOs, aligned with ``env.constraints`` —
         kept for diagnostics and the complexity benchmarks.
+    provenance:
+        Per-pass :class:`~repro.compile.pipeline.PassProvenance` records
+        (name, wall time, item count, detail) in execution order —
+        rendered by ``python -m repro compile``.
     """
 
     qubo: QUBO
@@ -75,6 +85,7 @@ class CompiledProgram:
     #: ≥ GAP, not exactly GAP) and hard dominance is maintained through a
     #: larger ``hard_scale``.
     soft_penalties_exact: bool = True
+    provenance: tuple = ()
 
     @property
     def all_variables(self) -> tuple[str, ...]:
@@ -100,6 +111,9 @@ def compile_program(
     *,
     cache: bool = True,
     hard_scale: float | None = None,
+    jobs: int = 1,
+    disk_cache: bool | None = None,
+    cache_dir: str | None = None,
 ) -> CompiledProgram:
     """Compile ``env``'s program to a QUBO.
 
@@ -113,109 +127,66 @@ def compile_program(
         Override the hard-constraint scaling factor.  Must exceed the
         total soft weight for hard dominance; the default is
         ``num_soft + 1``.
+    jobs:
+        Worker processes for MILP-bound template synthesis; ``1``
+        (default) synthesizes everything inline.  Any value produces
+        identical QUBOs.
+    disk_cache:
+        Force the on-disk template store on (``True``) or off
+        (``False``); ``None`` enables it exactly when a cache directory
+        is configured via ``cache_dir`` or ``REPRO_CACHE_DIR``.
+    cache_dir:
+        Directory of the on-disk template store; implies the disk tier
+        when set.
 
     Raises
     ------
     UnsatisfiableError
         If any single hard constraint is unsatisfiable in isolation.
         (Joint unsatisfiability across constraints is a backend's job.)
+    ValueError
+        On invalid option combinations (non-positive ``hard_scale`` or
+        ``jobs``, disk options contradicting ``cache``/each other).
     """
-    if hard_scale is not None and hard_scale <= 0:
-        raise ValueError("hard_scale must be positive")
+    from .pipeline import PipelineConfig, run_pipeline
 
-    with telemetry.span(
-        "compile.program",
-        constraints=len(env.constraints),
-        variables=env.num_variables,
+    config = PipelineConfig(
         cache=cache,
-    ) as tspan:
-        return _compile_program(env, cache, hard_scale, tspan)
-
-
-def _compile_program(
-    env: "Env", cache: bool, hard_scale: float | None, tspan
-) -> CompiledProgram:
-    """The compilation pipeline behind :func:`compile_program`."""
-    qubo_cache = QUBOCache(enabled=cache)
-    counter = iter(range(10**9))
-
-    def ancilla_namer() -> str:
-        while True:
-            name = f"{ANCILLA_PREFIX}{next(counter)}"
-            if name not in env:
-                return name
-
-    # Pass 1: compile every constraint unscaled.  Soft constraints
-    # request exact-GAP penalties so the summed QUBO counts them; where
-    # exactness is unattainable, the fallback inequality form is noted
-    # and compensated through the hard scale below.
-    results: list = []
-    soft_energy_budget = 0.0  # max total energy all soft QUBOs can reach
-    all_soft_exact = True
-    for constraint in env.constraints:
-        try:
-            result = qubo_cache.synthesize(
-                constraint, ancilla_namer, exact_penalty=constraint.soft
-            )
-        except Exception as exc:
-            if not constraint.soft and constraint.is_unsatisfiable():
-                raise UnsatisfiableError(str(exc)) from exc
-            if constraint.soft and constraint.is_unsatisfiable():
-                # An unsatisfiable soft constraint penalizes every
-                # assignment equally; it contributes nothing to argmin.
-                results.append(None)
-                continue
-            raise
-        results.append(result)
-        if constraint.soft:
-            if result.exact_penalty:
-                soft_energy_budget += GAP
-            else:
-                all_soft_exact = False
-                soft_energy_budget += result.max_energy_upper_bound()
-
-    # Hard dominance: violating any single hard constraint must cost more
-    # than every soft constraint's worst case combined.
-    if hard_scale is None:
-        hard_scale = soft_energy_budget / GAP + 1.0
-
-    total = QUBO()
-    per_constraint: list[QUBO] = []
-    ancillas: list[str] = []
-    for constraint, result in zip(env.constraints, results):
-        if result is None:
-            per_constraint.append(QUBO())
-            continue
-        scaled = result.qubo * hard_scale if not constraint.soft else result.qubo
-        ancillas.extend(result.ancillas)
-        per_constraint.append(scaled)
-        total += scaled
-
-    tspan.set(
-        ancillas=len(ancillas),
         hard_scale=hard_scale,
-        cache_hits=qubo_cache.hits,
-        cache_misses=qubo_cache.misses,
+        jobs=jobs,
+        disk_cache=disk_cache,
+        cache_dir=cache_dir,
     )
-    telemetry.gauge("compile.cache.templates", len(qubo_cache))
-    telemetry.count("compile.programs")
-    return CompiledProgram(
-        qubo=total.pruned(),
-        variables=tuple(v.name for v in env.variables),
-        ancillas=tuple(ancillas),
-        hard_scale=hard_scale,
-        constraint_qubos=per_constraint,
-        cache_stats={
-            "hits": qubo_cache.hits,
-            "misses": qubo_cache.misses,
-            "templates": len(qubo_cache),
-        },
-        soft_penalties_exact=all_soft_exact,
-    )
+    return run_pipeline(env, config)
 
 
-def compile_constraint(constraint: Constraint, **kwargs) -> QUBO:
-    """Compile a single constraint in isolation (testing/diagnostics)."""
+def compile_constraint(
+    constraint: Constraint,
+    *,
+    ancilla_namer=None,
+    allow_closed_form: bool = True,
+    exact_penalty: bool = False,
+) -> QUBO:
+    """Compile a single constraint in isolation (testing/diagnostics).
+
+    Parameters
+    ----------
+    constraint:
+        The constraint to synthesize a QUBO for.
+    ancilla_namer:
+        Zero-argument callable yielding fresh ancilla names; ``None``
+        uses the synthesizer's default ``_anc{i}`` sequence.
+    allow_closed_form:
+        Permit closed-form encodings before invoking LP/MILP synthesis.
+    exact_penalty:
+        Pin every invalid assignment to exactly the unit gap (the soft
+        constraint compilation mode).
+    """
     from .synthesize import synthesize_constraint_qubo
 
-    return synthesize_constraint_qubo(constraint, **kwargs).qubo
+    return synthesize_constraint_qubo(
+        constraint,
+        ancilla_namer=ancilla_namer,
+        allow_closed_form=allow_closed_form,
+        exact_penalty=exact_penalty,
+    ).qubo

@@ -197,16 +197,35 @@ class Env:
                     hard += 1
         return hard, soft
 
-    def to_qubo(self, **kwargs) -> "QUBO":
+    def to_qubo(
+        self,
+        *,
+        cache: bool = True,
+        hard_scale: float | None = None,
+        jobs: int = 1,
+        disk_cache: bool | None = None,
+        cache_dir: str | None = None,
+    ) -> "QUBO":
         """Compile the whole program to a QUBO (Section V).
 
-        Delegates to :func:`repro.compile.program.compile_program`; keyword
-        arguments are forwarded (e.g. ``cache`` to disable the symmetric-
-        constraint QUBO cache).
+        Delegates to :func:`repro.compile.program.compile_program`, which
+        documents the options in full: ``cache`` toggles the symmetric-
+        constraint template cache, ``hard_scale`` overrides the
+        hard-constraint scaling factor, ``jobs`` sets the worker-process
+        count for MILP-bound synthesis, and ``disk_cache`` / ``cache_dir``
+        control the persistent on-disk template store.  Unknown or
+        contradictory options raise ``ValueError`` up front.
         """
         from ..compile.program import compile_program
 
-        return compile_program(self, **kwargs)
+        return compile_program(
+            self,
+            cache=cache,
+            hard_scale=hard_scale,
+            jobs=jobs,
+            disk_cache=disk_cache,
+            cache_dir=cache_dir,
+        )
 
     def solve(self, backend=None, **kwargs) -> "Solution":
         """Execute the program on ``backend`` (default: classical exact).

@@ -1,0 +1,213 @@
+"""The staged compiler pipeline: equivalence, provenance, config, CLI.
+
+The pipeline's headline contract is *byte-compatibility*: the same
+program compiles to the identical QUBO — same variables, coefficients,
+offsets, ancilla names — whether the disk cache is cold, warm, or off,
+and whether synthesis runs inline or across worker processes.  These
+tests pin that contract exactly (dict equality, not tolerance), plus the
+pass-provenance records, the PipelineConfig validation, the
+REPRO_CACHE_DIR environment hook, and the ``python -m repro compile``
+subcommand.
+"""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.compile import (
+    CACHE_DIR_ENV,
+    PipelineConfig,
+    compile_constraint,
+    compile_program,
+)
+from repro.core import Env, nck
+
+
+def mixed_env() -> Env:
+    """Closed-form, LP, and MILP classes plus soft constraints in one env."""
+    env = Env()
+    vs = env.register_ports([f"v{i}" for i in range(6)])
+    for i in range(5):
+        env.nck([vs[i], vs[i + 1]], [1, 2])  # closed-form class
+    for v in vs[:4]:
+        env.prefer_false(v)  # soft class
+    env.nck([vs[0], vs[0], vs[1]], [1])  # repeated-variable MILP classes
+    env.nck([vs[2], vs[2], vs[3]], [1])
+    env.nck([vs[4], vs[4], vs[5], vs[5]], [2])
+    return env
+
+
+def programs_identical(a, b) -> bool:
+    """Exact equality: coefficients, offsets, names — no tolerance."""
+    return (
+        a.qubo.offset == b.qubo.offset
+        and a.qubo.linear == b.qubo.linear
+        and a.qubo.quadratic == b.qubo.quadratic
+        and a.variables == b.variables
+        and a.ancillas == b.ancillas
+        and a.hard_scale == b.hard_scale
+        and len(a.constraint_qubos) == len(b.constraint_qubos)
+        and all(
+            x.linear == y.linear and x.quadratic == y.quadratic and x.offset == y.offset
+            for x, y in zip(a.constraint_qubos, b.constraint_qubos)
+        )
+    )
+
+
+class TestEquivalence:
+    """The acceptance-criteria equivalence matrix."""
+
+    def test_disk_cache_on_off_and_warm(self, tmp_path):
+        env = mixed_env()
+        baseline = compile_program(env)
+        cold = compile_program(env, cache_dir=str(tmp_path))
+        warm = compile_program(env, cache_dir=str(tmp_path))
+        off = compile_program(env, disk_cache=False)
+        assert programs_identical(baseline, cold)
+        assert programs_identical(baseline, warm)
+        assert programs_identical(baseline, off)
+        # The warm run really came from disk.
+        assert warm.cache_stats["disk_hits"] == warm.cache_stats["templates"]
+        assert warm.cache_stats["disk_misses"] == 0
+        assert cold.cache_stats["disk_hits"] == 0
+        assert cold.cache_stats["disk_misses"] == cold.cache_stats["templates"]
+
+    def test_jobs_1_vs_jobs_n(self, tmp_path):
+        env = mixed_env()
+        serial = compile_program(env)
+        parallel = compile_program(env, jobs=2)
+        parallel_disk = compile_program(env, jobs=2, cache_dir=str(tmp_path))
+        assert programs_identical(serial, parallel)
+        assert programs_identical(serial, parallel_disk)
+
+    def test_cache_ablation_unchanged_by_pipeline(self):
+        env = mixed_env()
+        cached = compile_program(env, cache=True)
+        uncached = compile_program(env, cache=False)
+        # Different ancilla naming paths, same energy landscape.
+        assert cached.qubo.ground_states()[0] == pytest.approx(
+            uncached.qubo.ground_states()[0]
+        )
+        assert uncached.cache_stats["templates"] == 0
+        assert uncached.cache_stats["hits"] == 0
+
+
+class TestEnvironmentHook:
+    def test_cache_dir_env_enables_disk_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        env = mixed_env()
+        compiled = compile_program(env)
+        assert compiled.cache_stats["disk_enabled"]
+        files = list((tmp_path / "templates").glob("*.json"))
+        assert len(files) == compiled.cache_stats["templates"]
+
+    def test_disk_cache_false_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        compiled = compile_program(mixed_env(), disk_cache=False)
+        assert not compiled.cache_stats["disk_enabled"]
+        assert not (tmp_path / "templates").exists()
+
+    def test_disk_tier_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        compiled = compile_program(mixed_env())
+        assert not compiled.cache_stats["disk_enabled"]
+
+
+class TestProvenance:
+    def test_four_passes_in_order(self):
+        compiled = compile_program(mixed_env())
+        assert [p.name for p in compiled.provenance] == [
+            "canonicalize",
+            "plan",
+            "synthesize",
+            "assemble",
+        ]
+        for record in compiled.provenance:
+            assert record.wall_s >= 0.0
+            assert record.describe()
+
+    def test_provenance_details(self):
+        env = mixed_env()
+        compiled = compile_program(env)
+        canon, planned, synth, asm = compiled.provenance
+        assert canon.items == env.num_constraints
+        assert canon.detail["classes"] == compiled.cache_stats["templates"]
+        assert planned.detail["milp"] >= 2
+        assert synth.detail["synthesized"] == compiled.cache_stats["templates"]
+        assert asm.detail["ancillas"] == len(compiled.ancillas)
+        assert asm.detail["hard_scale"] == compiled.hard_scale
+
+
+class TestPipelineConfig:
+    def test_bad_hard_scale(self):
+        with pytest.raises(ValueError, match="hard_scale must be positive"):
+            PipelineConfig(hard_scale=0.0)
+
+    @pytest.mark.parametrize("jobs", [0, -1, 1.5])
+    def test_bad_jobs(self, jobs):
+        with pytest.raises(ValueError, match="jobs"):
+            PipelineConfig(jobs=jobs)
+
+    def test_jobs_require_cache(self):
+        with pytest.raises(ValueError, match="jobs > 1 requires cache=True"):
+            compile_program(mixed_env(), cache=False, jobs=2)
+
+    def test_cache_dir_contradicts_disk_cache_off(self, tmp_path):
+        with pytest.raises(ValueError, match="cache_dir"):
+            compile_program(mixed_env(), cache_dir=str(tmp_path), disk_cache=False)
+
+    def test_disk_cache_requires_cache(self):
+        with pytest.raises(ValueError, match="disk_cache=True requires cache=True"):
+            compile_program(mixed_env(), cache=False, disk_cache=True)
+
+
+class TestCompileConstraint:
+    def test_explicit_keywords_reject_typos(self):
+        c = nck(["a", "b"], [1])
+        with pytest.raises(TypeError):
+            compile_constraint(c, exact_penalties=True)  # typo'd keyword
+
+    def test_options_are_honored(self):
+        c = nck(["a", "b", "c"], [1])
+        names = iter(f"z{i}" for i in range(10))
+        q = compile_constraint(c, ancilla_namer=lambda: next(names))
+        assert set(q.variables) <= {"a", "b", "c", "z0", "z1", "z2"}
+        q2 = compile_constraint(c, allow_closed_form=False)
+        assert q2.variables  # synthesized without the closed form
+
+
+class TestCompileCLI:
+    def test_compile_subcommand_smoke(self, capsys):
+        assert main(["compile", "vertex-cover", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "canonicalize" in out and "assemble" in out
+        assert "disk tier disabled" in out
+
+    def test_compile_subcommand_with_cache_dir(self, tmp_path, capsys):
+        argv = ["compile", "3sat", "--n", "6", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "disk 0 hits" in cold
+        assert list(tmp_path.glob("*.json"))
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm
+
+    def test_compile_subcommand_no_disk_cache(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert main(["compile", "max-cut", "--n", "6", "--no-disk-cache"]) == 0
+        assert "disk tier disabled" in capsys.readouterr().out
+        assert not os.listdir(tmp_path)
+
+    def test_compile_subcommand_no_cache(self, capsys):
+        assert main(["compile", "max-cut", "--n", "6", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 templates" in out
+
+    def test_compile_subcommand_rejects_no_cache_with_jobs(self, capsys):
+        """Invalid flag combinations exit 2 with a message, not a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compile", "max-cut", "--n", "6", "--no-cache", "--jobs", "2"])
+        assert excinfo.value.code == 2
+        assert "requires cache=True" in capsys.readouterr().err

@@ -1,0 +1,177 @@
+"""TemplateStore robustness: corrupted caches cost time, never correctness.
+
+The store's contract is that *anything* wrong with a cache entry —
+truncation, garbage, a stale schema, a hash collision serving the wrong
+key, even a directory squatting on the file name — is treated as a miss:
+the bad entry is deleted and the template resynthesized.  A corrupted
+cache must never crash a compilation or change its output.
+"""
+
+import json
+
+import pytest
+
+from repro.compile import build_template, template_key
+from repro.compile.pipeline.store import SCHEMA_VERSION, TemplateStore
+from repro.core import nck
+from repro.compile import compile_program
+from tests.test_compile_pipeline import mixed_env, programs_identical
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return TemplateStore(tmp_path / "templates")
+
+
+@pytest.fixture()
+def entry(store):
+    """A constraint stored in the cache; returns (key, template, path)."""
+    constraint = nck(["a", "a", "b"], [1])
+    key = template_key(constraint, False)
+    template = build_template(constraint, False)
+    assert store.store(key, template)
+    return key, template, store.path_for(key)
+
+
+class TestRoundTrip:
+    def test_load_returns_exact_template(self, store, entry):
+        key, template, _ = entry
+        loaded = store.load(key)
+        assert loaded is not None
+        # Exact equality — JSON floats round-trip bit-for-bit.
+        assert loaded.qubo.offset == template.qubo.offset
+        assert loaded.qubo.linear == template.qubo.linear
+        assert loaded.qubo.quadratic == template.qubo.quadratic
+        assert loaded.num_ancillas == template.num_ancillas
+        assert loaded.used_closed_form == template.used_closed_form
+        assert loaded.exact_penalty == template.exact_penalty
+        assert store.hits == 1 and store.misses == 0
+
+    def test_missing_entry_is_a_miss(self, store):
+        key = template_key(nck(["x", "y"], [1]), False)
+        assert store.load(key) is None
+        assert store.misses == 1
+
+    def test_len_and_clear(self, store, entry):
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+        key, _, _ = entry
+        assert store.load(key) is None
+
+
+class TestCorruptedEntries:
+    """Planted corruption: every flavor is a delete-and-resynthesize miss."""
+
+    def plant_and_check(self, store, key, path):
+        assert store.load(key) is None, "corrupted entry must be a miss"
+        assert not path.exists(), "corrupted entry must be deleted"
+        assert store.misses >= 1
+
+    def test_truncated_json(self, store, entry):
+        key, _, path = entry
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        self.plant_and_check(store, key, path)
+
+    def test_garbage_bytes(self, store, entry):
+        key, _, path = entry
+        path.write_bytes(b"\x00\xff not json at all \x80")
+        self.plant_and_check(store, key, path)
+
+    def test_empty_file(self, store, entry):
+        key, _, path = entry
+        path.write_text("")
+        self.plant_and_check(store, key, path)
+
+    def test_schema_mismatch(self, store, entry):
+        key, _, path = entry
+        payload = json.loads(path.read_text())
+        payload["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        self.plant_and_check(store, key, path)
+
+    def test_key_echo_mismatch(self, store, entry):
+        """A file served under the wrong key (e.g. a hash collision)."""
+        key, _, path = entry
+        payload = json.loads(path.read_text())
+        payload["key"]["selection"] = [2]
+        path.write_text(json.dumps(payload))
+        self.plant_and_check(store, key, path)
+
+    def test_wrong_value_types(self, store, entry):
+        key, _, path = entry
+        payload = json.loads(path.read_text())
+        payload["num_ancillas"] = "three"
+        path.write_text(json.dumps(payload))
+        self.plant_and_check(store, key, path)
+
+    def test_non_finite_coefficient(self, store, entry):
+        key, _, path = entry
+        payload = json.loads(path.read_text())
+        payload["offset"] = float("inf")
+        path.write_text(json.dumps(payload).replace("Infinity", "1e999"))
+        self.plant_and_check(store, key, path)
+
+    def test_hostile_variable_names(self, store, entry):
+        key, _, path = entry
+        payload = json.loads(path.read_text())
+        payload["linear"] = [["../../etc/passwd", 1.0]]
+        path.write_text(json.dumps(payload))
+        self.plant_and_check(store, key, path)
+
+    def test_directory_squatting_on_entry(self, store, entry):
+        key, _, path = entry
+        path.unlink()
+        path.mkdir()
+        self.plant_and_check(store, key, path)
+
+    def test_resynthesize_after_corruption(self, store, entry):
+        """The full delete-and-resynthesize cycle restores a good entry."""
+        key, template, path = entry
+        path.write_text("{corrupt")
+        assert store.load(key) is None
+        assert store.store(key, template)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.qubo.linear == template.qubo.linear
+
+
+class TestWriteFailures:
+    def test_unwritable_directory_degrades_gracefully(self, tmp_path, entry):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should go")
+        bad = TemplateStore(blocker / "templates")
+        key, template, _ = entry
+        assert not bad.store(key, template)
+        assert bad.errors == 1
+        assert bad.load(key) is None  # still just a miss, no crash
+
+    def test_stats_shape(self, store, entry):
+        key, _, _ = entry
+        store.load(key)
+        assert store.stats() == {"hits": 1, "misses": 0, "errors": 0}
+
+
+class TestCompilationThroughCorruption:
+    def test_corrupted_cache_never_changes_output(self, tmp_path):
+        env = mixed_env()
+        baseline = compile_program(env)
+        cold = compile_program(env, cache_dir=str(tmp_path))
+        # Corrupt every cached entry in a different way.
+        for i, path in enumerate(sorted(tmp_path.glob("*.json"))):
+            if i % 3 == 0:
+                path.write_text("{truncated")
+            elif i % 3 == 1:
+                path.write_bytes(b"\x00\x01\x02")
+            else:
+                payload = json.loads(path.read_text())
+                payload["schema"] = 999
+                path.write_text(json.dumps(payload))
+        rebuilt = compile_program(env, cache_dir=str(tmp_path))
+        assert programs_identical(baseline, cold)
+        assert programs_identical(baseline, rebuilt)
+        assert rebuilt.cache_stats["disk_hits"] == 0
+        # The cache healed: a third compile is all disk hits.
+        healed = compile_program(env, cache_dir=str(tmp_path))
+        assert programs_identical(baseline, healed)
+        assert healed.cache_stats["disk_hits"] == healed.cache_stats["templates"]

@@ -25,7 +25,7 @@ from repro import telemetry
 from repro.annealing.device import AnnealingDevice
 from repro.circuit.device import CircuitDevice
 from repro.classical.nck_solver import ExactNckSolver
-from repro.compile.program import compile_program
+from repro.compile.program import compile_constraint, compile_program
 from repro.core.env import Env
 from repro.runtime import BatchRunner, solve
 
@@ -40,6 +40,13 @@ LINTED_MODULES = [
     "core/solution.py",
     "compile/program.py",
     "compile/cache.py",
+    "compile/pipeline/__init__.py",
+    "compile/pipeline/base.py",
+    "compile/pipeline/canonicalize.py",
+    "compile/pipeline/plan.py",
+    "compile/pipeline/store.py",
+    "compile/pipeline/synthesis.py",
+    "compile/pipeline/assemble.py",
     "annealing/device.py",
     "circuit/device.py",
     "classical/nck_solver.py",
@@ -94,6 +101,7 @@ ENTRY_POINTS = [
     Env.solve,
     Env.to_qubo,
     compile_program,
+    compile_constraint,
     AnnealingDevice.__init__,
     AnnealingDevice.sample,
     CircuitDevice.__init__,

@@ -1,9 +1,20 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.compile import synthesize_constraint_qubo, verify_constraint_qubo
+from repro.compile import (
+    build_template,
+    instantiate_template,
+    synthesize_constraint_qubo,
+    template_key,
+    verify_constraint_qubo,
+)
+from repro.compile.pipeline.store import TemplateStore
+from repro.compile.synthesize import SynthesisResult
 from repro.core import Constraint, SelectionSet, VariableCollection, nck
 from repro.qubo import (
     QUBO,
@@ -161,3 +172,89 @@ class TestCompilerSpec:
             return
         result = synthesize_constraint_qubo(c)
         assert verify_constraint_qubo(c, result)
+
+
+# ---------------------------------------------------------------------------
+# Template relabeling and the disk tier (the pipeline's sharing invariants)
+# ---------------------------------------------------------------------------
+
+
+def min_over_ancilla_energies(result) -> np.ndarray:
+    """Min-over-ancillas energy per assignment of the QUBO's variables.
+
+    Variables are taken in sorted name order, ancillas last, so the array
+    indexes assignments identically for QUBOs that differ only by an
+    ancilla/variable renaming along that order.
+    """
+    names = sorted(set(result.qubo.variables) - set(result.ancillas))
+    k = len(result.ancillas)
+    cols = names + list(result.ancillas)
+    rows = enumerate_assignments(len(cols))
+    energies = result.qubo.energies(rows, cols)
+    return energies.reshape(2 ** len(names), 2**k).min(axis=1)
+
+
+@st.composite
+def constraints_with_permutation(draw):
+    """A satisfiable constraint plus a multiplicity-preserving permutation."""
+    c = draw(constraints().filter(lambda c: not c.is_unsatisfiable()))
+    counts = c.collection.counts
+    by_mult: dict[int, list[str]] = {}
+    for var, mult in counts.items():
+        by_mult.setdefault(mult, []).append(var.name)
+    mapping: dict[str, str] = {}
+    for names in by_mult.values():
+        shuffled = draw(st.permutations(names))
+        mapping.update(dict(zip(names, shuffled)))
+    return c, mapping
+
+
+class TestTemplateRelabeling:
+    @given(constraints_with_permutation())
+    @settings(max_examples=25, deadline=None)
+    def test_equal_multiplicity_permutation_is_energy_identical(self, case):
+        """Relabeling under any permutation of equal-multiplicity
+        variables yields an energy-identical QUBO: it still verifies
+        against the (permutation-invariant) constraint, and its sorted
+        min-over-ancilla energy landscape is bit-identical."""
+        c, mapping = case
+        template = build_template(c, exact_penalty=False)
+        counter = iter(range(100))
+        result = instantiate_template(template, c, lambda: f"_p{next(counter)}")
+        permuted = SynthesisResult(
+            qubo=result.qubo.relabeled(mapping),
+            ancillas=result.ancillas,
+            used_closed_form=result.used_closed_form,
+            exact_penalty=result.exact_penalty,
+        )
+        assert verify_constraint_qubo(c, permuted)
+        original = np.sort(min_over_ancilla_energies(result))
+        relabeled = np.sort(min_over_ancilla_energies(permuted))
+        assert (original == relabeled).all()
+
+    @given(constraints().filter(lambda c: not c.is_unsatisfiable()))
+    @settings(max_examples=25, deadline=None)
+    def test_disk_roundtrip_equals_in_memory_exactly(self, c):
+        """store → load → relabel is bit-identical to in-memory synthesis:
+        same coefficients, offsets, ancilla counts, and flags."""
+        template = build_template(c, exact_penalty=c.soft)
+        key = template_key(c, c.soft)
+        with tempfile.TemporaryDirectory() as d:
+            store = TemplateStore(Path(d))
+            assert store.store(key, template)
+            loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.qubo.offset == template.qubo.offset
+        assert loaded.qubo.linear == template.qubo.linear
+        assert loaded.qubo.quadratic == template.qubo.quadratic
+        assert loaded.num_ancillas == template.num_ancillas
+        assert loaded.used_closed_form == template.used_closed_form
+        assert loaded.exact_penalty == template.exact_penalty
+        mem_counter = iter(range(100))
+        disk_counter = iter(range(100))
+        from_memory = instantiate_template(template, c, lambda: f"_r{next(mem_counter)}")
+        from_disk = instantiate_template(loaded, c, lambda: f"_r{next(disk_counter)}")
+        assert from_memory.qubo.offset == from_disk.qubo.offset
+        assert from_memory.qubo.linear == from_disk.qubo.linear
+        assert from_memory.qubo.quadratic == from_disk.qubo.quadratic
+        assert from_memory.ancillas == from_disk.ancillas
