@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-slow docs-check lint-docstrings bench bench-smoke bench-compile trace-table1 all-checks
+.PHONY: test test-slow docs-check lint lint-docstrings bench bench-smoke bench-compile trace-table1 all-checks
 
 test:            ## tier-1 test suite (excludes @slow, per pyproject addopts)
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,10 @@ test-slow:       ## just the long-running end-to-end demos
 
 docs-check:      ## execute every runnable code block in README.md and docs/
 	$(PYTHON) -m pytest tests/test_docs_examples.py -q
+
+lint:            ## static analysis: self-lint the codebase + analyzer test suites
+	$(PYTHON) -m repro lint --self
+	$(PYTHON) -m pytest tests/test_analysis_program.py tests/test_analysis_codelint.py -q
 
 lint-docstrings: ## docstring presence + parameter-coverage lint
 	$(PYTHON) -m pytest tests/test_docstrings.py -q
@@ -30,4 +34,4 @@ bench-compile:   ## compiler-pipeline bench (cold vs warm disk cache, serial vs 
 trace-table1:    ## smoke-run the telemetry pipeline end to end
 	$(PYTHON) -m repro trace table1
 
-all-checks: test docs-check
+all-checks: test docs-check lint

@@ -15,6 +15,9 @@ Usage::
         [--timeout S] [--retries K] [--seed N]
     python -m repro compile 3sat --n 20 \\
         [--jobs N] [--cache-dir DIR] [--no-disk-cache] [--no-cache]
+    python -m repro lint vertex-cover --n 20 \\
+        [--json] [--min-severity LEVEL] [--hard-scale X] [--qubit-budget Q]
+    python -m repro lint --self
 
 Artifact subcommands print the measured rows/series of one paper
 artifact (the same output the benchmark harness produces, without
@@ -27,7 +30,10 @@ compiler pipeline only (see ``docs/compiler.md``) and prints the QUBO
 shape, the per-pass provenance table, and the in-memory/on-disk cache
 statistics — with ``--jobs N`` fanning MILP synthesis over worker
 processes and ``--cache-dir DIR`` pointing the persistent template
-store somewhere explicit.
+store somewhere explicit.  ``lint`` runs the static analyzers of
+:mod:`repro.analysis` — over a generated program, or over the repro
+codebase itself with ``--self`` — and exits 2/1/0 for
+errors/warnings/clean (see ``docs/analysis.md``).
 
 With ``trace`` (or ``--telemetry``, or ``REPRO_TELEMETRY=1`` in the
 environment) the run is instrumented: every pipeline stage records
@@ -361,6 +367,25 @@ def _compile(args) -> None:
 
 
 # ---------------------------------------------------------------------------
+# The lint subcommand (implemented in repro.analysis.cli)
+# ---------------------------------------------------------------------------
+
+
+def _configure_lint(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint``-specific arguments to its subparser."""
+    from .analysis.cli import configure_lint
+
+    configure_lint(parser)
+
+
+def _lint(args) -> int:
+    """Run the requested analyzer; exit 2 on errors, 1 on warnings."""
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
+
+
+# ---------------------------------------------------------------------------
 # The command registry — the single source of truth for the CLI surface
 # ---------------------------------------------------------------------------
 
@@ -370,15 +395,16 @@ class Command:
     """One CLI subcommand.
 
     ``name`` and ``help`` feed argparse; ``run`` executes with the parsed
-    namespace; ``configure`` (optional) attaches subcommand-specific
-    arguments; ``artifact`` marks paper artifacts, which are the commands
-    ``trace`` accepts and ``all`` iterates, and which run inside an
+    namespace and may return an exit code (``None`` means 0);
+    ``configure`` (optional) attaches subcommand-specific arguments;
+    ``artifact`` marks paper artifacts, which are the commands ``trace``
+    accepts and ``all`` iterates, and which run inside an
     ``experiments.<name>`` telemetry span.
     """
 
     name: str
     help: str
-    run: Callable[[argparse.Namespace], None]
+    run: Callable[[argparse.Namespace], int | None]
     configure: Callable[[argparse.ArgumentParser], None] | None = None
     artifact: bool = True
 
@@ -408,6 +434,13 @@ COMMANDS: tuple[Command, ...] = (
         "compile a generated problem instance through the staged pipeline",
         _compile,
         configure=_configure_compile,
+        artifact=False,
+    ),
+    Command(
+        "lint",
+        "statically analyze a generated program, or the codebase (--self)",
+        _lint,
+        configure=_configure_lint,
         artifact=False,
     ),
 )
@@ -442,7 +475,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", metavar="command", required=True)
     for cmd in COMMANDS:
-        p = sub.add_parser(cmd.name, help=cmd.help, parents=[common])
+        # argparse %-interpolates help strings, so a literal "%" in the
+        # registry (fig7's "% optimal") must be escaped here, at the
+        # registry -> argparse boundary.
+        p = sub.add_parser(cmd.name, help=cmd.help.replace("%", "%%"), parents=[common])
         if cmd.configure is not None:
             cmd.configure(p)
     tracer = sub.add_parser(
@@ -474,9 +510,9 @@ def main(argv: list[str] | None = None) -> int:
     command = next(c for c in COMMANDS if c.name == name)
     if command.artifact and command.name != "all":
         with telemetry.span(f"experiments.{name}"):
-            command.run(args)
+            rc = command.run(args)
     else:
-        command.run(args)
+        rc = command.run(args)
 
     if telemetry.enabled():
         print()
@@ -484,7 +520,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.telemetry_out:
             telemetry.write_jsonl(args.telemetry_out)
             print(f"telemetry events written to {args.telemetry_out}")
-    return 0
+    return int(rc or 0)
 
 
 if __name__ == "__main__":

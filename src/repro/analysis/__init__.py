@@ -1,0 +1,51 @@
+"""Static analysis for NchooseK programs and for the repo itself.
+
+Two analyzers share one :class:`~repro.analysis.diagnostics.Diagnostic`
+model and one reporting layer:
+
+* :mod:`repro.analysis.program` — the **program linter**: semantic
+  pre-compile checks over an :class:`~repro.core.env.Env` (infeasible,
+  tautological, duplicate/subsumed constraints; unconstrained
+  variables; soft-weight/hard-gap scale mismatches; ancilla-budget
+  estimates).  Runs automatically as the compiler pipeline's opt-out
+  ``lint`` pre-pass.
+* :mod:`repro.analysis.codelint` — the **codebase lint engine**: AST
+  rules over ``src/repro`` (docstring presence/coverage, unseeded RNG,
+  naked ``except:``, mutable defaults, telemetry-name registry,
+  ``__all__`` drift), honoring per-line ``# nck: noqa[CODE]``
+  suppressions.
+
+Both surface through ``python -m repro lint <problem>|--self`` and are
+catalogued, with worked examples per rule code, in ``docs/analysis.md``.
+"""
+
+from .codelint import CODE_RULES, lint_file, lint_package
+from .diagnostics import (
+    Diagnostic,
+    RuleInfo,
+    Severity,
+    exit_code,
+    filter_ignored,
+    gate,
+    severity_counts,
+)
+from .program import PROGRAM_RULES, estimate_qubits, lint_program
+from .report import render_json, render_text
+
+__all__ = [
+    "CODE_RULES",
+    "Diagnostic",
+    "PROGRAM_RULES",
+    "RuleInfo",
+    "Severity",
+    "estimate_qubits",
+    "exit_code",
+    "filter_ignored",
+    "gate",
+    "lint_file",
+    "lint_package",
+    "lint_program",
+    "render_json",
+    "render_text",
+    "severity_counts",
+]

@@ -1,0 +1,95 @@
+"""The ``python -m repro lint`` subcommand.
+
+Two modes share one reporting path:
+
+``python -m repro lint <problem> [--n N]``
+    Generate a Table I problem instance (the same generators ``solve``
+    and ``compile`` use) and run the program linter over its ``Env``.
+
+``python -m repro lint --self``
+    Run the codebase lint engine over the installed ``repro`` package.
+
+Both render text by default or the versioned JSON envelope with
+``--json``, gate the display with ``--severity``, and exit 2 on any
+error-severity finding, 1 on warnings, 0 when clean — so ``make lint``
+can gate CI on the exit code alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .diagnostics import Severity, exit_code, gate
+from .report import render_json, render_text
+
+
+def configure_lint(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint``-specific arguments to its subparser."""
+    from ..__main__ import SOLVE_PROBLEMS
+
+    parser.add_argument(
+        "problem",
+        nargs="?",
+        choices=SOLVE_PROBLEMS,
+        help="problem family to generate and lint (omit with --self)",
+    )
+    parser.add_argument(
+        "--self",
+        dest="self_lint",
+        action="store_true",
+        help="lint the repro codebase itself instead of a program",
+    )
+    parser.add_argument(
+        "--n", type=int, default=12, help="instance size (nodes/elements/variables)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the JSON report envelope"
+    )
+    parser.add_argument(
+        "--min-severity",
+        choices=[str(s) for s in Severity],
+        default="info",
+        help="hide findings below this severity (also gates the exit code)",
+    )
+    parser.add_argument(
+        "--hard-scale",
+        type=float,
+        default=None,
+        help="intended hard_scale, enabling the NCK201 energy-scale check",
+    )
+    parser.add_argument(
+        "--qubit-budget",
+        type=int,
+        default=None,
+        help="device qubit count, enabling the NCK301 budget check",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Run the requested analyzer and return the process exit code."""
+    if args.self_lint == (args.problem is not None):
+        import sys
+
+        print(
+            "repro lint: error: name a problem or pass --self (not both)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if args.self_lint:
+        from .codelint import lint_package
+
+        diagnostics = lint_package()
+    else:
+        from ..__main__ import _build_problem
+        from .program import lint_program
+
+        instance = _build_problem(args.problem, args.n, args.seed)
+        diagnostics = lint_program(
+            instance.build_env(),
+            hard_scale=args.hard_scale,
+            qubit_budget=args.qubit_budget,
+        )
+    minimum = Severity.parse(args.min_severity)
+    render = render_json if args.json else render_text
+    print(render(diagnostics, minimum=minimum))
+    return exit_code(gate(diagnostics, minimum))

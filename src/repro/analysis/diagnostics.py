@@ -1,0 +1,187 @@
+"""The shared diagnostic model of :mod:`repro.analysis`.
+
+Both analyzers — the NchooseK program linter
+(:mod:`repro.analysis.program`) and the codebase lint engine
+(:mod:`repro.analysis.codelint`) — emit the same value type: a
+:class:`Diagnostic` carrying a stable rule code, a severity, a location
+(source file/line for code lints, constraint/variable identity for
+program lints), a message, and an optional fix hint.  One model means
+one reporting layer (:mod:`repro.analysis.report`) serves both.
+
+Rule-code families
+------------------
+``NCK1xx``
+    Program structure: infeasible, tautological, duplicate/subsumed
+    constraints and unconstrained variables.
+``NCK2xx``
+    Energy-scale hygiene: soft weights vs. the hard-penalty gap.
+``NCK3xx``
+    Resource budgets: qubit-count estimates vs. a device budget.
+``REP1xx``
+    Repository docstring hygiene (presence + parameter coverage).
+``REP2xx``
+    Repository runtime hygiene (unseeded RNG, naked except, mutable
+    defaults).
+``REP3xx``
+    Telemetry naming (names outside the declared span registry).
+``REP4xx``
+    Public-surface hygiene (``__all__`` drift).
+
+Suppression
+-----------
+Code lints honor per-line ``# nck: noqa`` / ``# nck: noqa[CODE,...]``
+comments (parsed by the engine); program lints — which see Python
+objects, not source lines — take an ``ignore=("NCK104", ...)`` argument
+instead.  Both are documented with examples in ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``"info"`` / ``"warning"`` / ``"error"`` (any case)."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[str(s) for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from an analyzer.
+
+    Attributes
+    ----------
+    code:
+        Stable rule identifier, e.g. ``"NCK101"`` or ``"REP201"``.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable, single-sentence statement of the problem.
+    source:
+        Which analyzer produced it: ``"program"`` or ``"codelint"``.
+    file:
+        Repository-relative path for code lints, ``None`` for program
+        lints.
+    line / column:
+        1-based line and 0-based column for code lints, ``None``
+        otherwise.
+    obj:
+        The offending object's identity: a dotted qualname for code
+        lints (``"Env.nck"``), a ``constraint[i]`` / ``variable name``
+        label for program lints.
+    hint:
+        Optional actionable fix suggestion.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    source: str = "program"
+    file: str | None = None
+    line: int | None = None
+    column: int | None = None
+    obj: str | None = None
+    hint: str | None = None
+
+    @property
+    def location(self) -> str:
+        """Human-readable location prefix for the text report."""
+        if self.file is not None:
+            pos = f":{self.line}" if self.line is not None else ""
+            return f"{self.file}{pos}"
+        return self.obj or "<program>"
+
+    def render(self) -> str:
+        """One report line: ``location: SEVERITY CODE message [hint]``."""
+        text = f"{self.location}: {self.severity} {self.code} {self.message}"
+        if self.hint:
+            text += f"  [{self.hint}]"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (schema documented in docs/analysis.md)."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "source": self.source,
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+            "object": self.obj,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> tuple:
+        """Stable report order: file, line, then code."""
+        return (self.file or "", self.line or 0, self.column or 0, self.code)
+
+
+@dataclass
+class RuleInfo:
+    """Registry entry describing one lint rule.
+
+    ``code`` and ``name`` identify the rule; ``severity`` is its default
+    severity (individual diagnostics may downgrade, e.g. an infeasible
+    *soft* constraint is a warning where the hard case is an error);
+    ``summary`` is the one-line catalog description.
+    """
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    #: Populated by the registering decorator; the callable's signature
+    #: is analyzer-specific.
+    check: object = field(default=None, repr=False)
+
+
+def gate(diagnostics: Iterable[Diagnostic], minimum: Severity) -> list[Diagnostic]:
+    """Keep diagnostics at or above ``minimum`` severity, report-sorted."""
+    kept = [d for d in diagnostics if d.severity >= minimum]
+    return sorted(kept, key=Diagnostic.sort_key)
+
+
+def severity_counts(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    """``{"error": n, "warning": n, "info": n}`` tallies."""
+    counts = {str(s): 0 for s in reversed(Severity)}
+    for d in diagnostics:
+        counts[str(d.severity)] += 1
+    return counts
+
+
+def exit_code(diagnostics: Iterable[Diagnostic]) -> int:
+    """CLI exit code: 2 with any error, 1 with any warning, else 0."""
+    worst = max((d.severity for d in diagnostics), default=Severity.INFO)
+    if worst >= Severity.ERROR:
+        return 2
+    if worst >= Severity.WARNING:
+        return 1
+    return 0
+
+
+def filter_ignored(
+    diagnostics: Iterable[Diagnostic], ignore: Sequence[str]
+) -> list[Diagnostic]:
+    """Drop diagnostics whose code is listed in ``ignore``."""
+    ignored = {code.strip().upper() for code in ignore}
+    return [d for d in diagnostics if d.code not in ignored]

@@ -82,7 +82,7 @@ class SimulatedAnnealingSampler:
         sorted variables); ``schedule`` overrides the sampler default for
         this call.
         """
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # nck: noqa[REP201]
         order = tuple(variables) if variables is not None else model.variables
         n = len(order)
         if n == 0:

@@ -150,7 +150,7 @@ class QAOA:
         sample — the paper's "a single result is returned" semantics is
         applied by the caller, which takes :attr:`QAOAResult.best_bits`.
         """
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # nck: noqa[REP201]
         variables = model.variables
         diagonal = cost_diagonal(model, variables)
         evaluations = 0

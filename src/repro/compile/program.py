@@ -114,6 +114,7 @@ def compile_program(
     jobs: int = 1,
     disk_cache: bool | None = None,
     cache_dir: str | None = None,
+    lint: bool = True,
 ) -> CompiledProgram:
     """Compile ``env``'s program to a QUBO.
 
@@ -138,6 +139,11 @@ def compile_program(
     cache_dir:
         Directory of the on-disk template store; implies the disk tier
         when set.
+    lint:
+        Run the :func:`repro.analysis.program.lint_program` pre-pass
+        (the default); error findings abort before synthesis.  The pass
+        never alters the compiled output, so ``lint=False`` yields a
+        byte-identical program on clean input.
 
     Raises
     ------
@@ -156,6 +162,7 @@ def compile_program(
         jobs=jobs,
         disk_cache=disk_cache,
         cache_dir=cache_dir,
+        lint=lint,
     )
     return run_pipeline(env, config)
 

@@ -205,6 +205,7 @@ class Env:
         jobs: int = 1,
         disk_cache: bool | None = None,
         cache_dir: str | None = None,
+        lint: bool = True,
     ) -> "QUBO":
         """Compile the whole program to a QUBO (Section V).
 
@@ -212,9 +213,11 @@ class Env:
         documents the options in full: ``cache`` toggles the symmetric-
         constraint template cache, ``hard_scale`` overrides the
         hard-constraint scaling factor, ``jobs`` sets the worker-process
-        count for MILP-bound synthesis, and ``disk_cache`` / ``cache_dir``
-        control the persistent on-disk template store.  Unknown or
-        contradictory options raise ``ValueError`` up front.
+        count for MILP-bound synthesis, ``disk_cache`` / ``cache_dir``
+        control the persistent on-disk template store, and ``lint``
+        (default on) runs the program-linter pre-pass whose errors abort
+        compilation.  Unknown or contradictory options raise
+        ``ValueError`` up front.
         """
         from ..compile.program import compile_program
 
@@ -225,6 +228,7 @@ class Env:
             jobs=jobs,
             disk_cache=disk_cache,
             cache_dir=cache_dir,
+            lint=lint,
         )
 
     def solve(self, backend=None, **kwargs) -> "Solution":

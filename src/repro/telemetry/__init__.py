@@ -28,9 +28,12 @@ Typical use::
 
 Span and metric naming conventions, the canonical names each package
 emits, and the exporter formats are documented in
-``docs/observability.md``.
+``docs/observability.md``.  The declared subsystem prefixes live in
+:data:`~repro.telemetry.naming.KNOWN_SPAN_PREFIXES` and are enforced
+statically by ``python -m repro lint --self`` (rule ``REP301``).
 """
 
+from .naming import KNOWN_SPAN_PREFIXES, is_canonical_name
 from .export import (
     pipeline_headline,
     portfolio_section,
@@ -60,6 +63,8 @@ from .recorder import (
 )
 
 __all__ = [
+    "KNOWN_SPAN_PREFIXES",
+    "is_canonical_name",
     "CounterStat",
     "GaugeStat",
     "HistogramStat",

@@ -1,0 +1,44 @@
+"""The declared span/metric name registry.
+
+Every telemetry name in the codebase follows the
+``<subsystem>.<event>`` convention documented in
+``docs/observability.md``: dotted lowercase, with the leading segment
+naming the emitting subsystem.  This module is the single place those
+subsystems are declared; :mod:`repro.analysis.codelint` rule ``REP301``
+enforces the registry statically, so a typo'd or undeclared prefix
+fails ``make lint`` instead of silently fragmenting dashboards.
+
+Adding a new instrumented subsystem is a two-step change: add its
+prefix here, and document its canonical names in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: The declared top-level subsystems allowed as span/metric prefixes.
+KNOWN_SPAN_PREFIXES: frozenset[str] = frozenset(
+    {
+        "compile",
+        "anneal",
+        "circuit",
+        "classical",
+        "runtime",
+        "experiments",
+    }
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def is_canonical_name(name: str) -> bool:
+    """Whether ``name`` is dotted lowercase under a declared prefix.
+
+    A canonical name has at least two dot-separated lowercase segments
+    (``compile.program``, ``anneal.job.reads``) and its first segment is
+    a member of :data:`KNOWN_SPAN_PREFIXES`.
+    """
+    if not _NAME_RE.match(name):
+        return False
+    return name.split(".", 1)[0] in KNOWN_SPAN_PREFIXES

@@ -115,9 +115,10 @@ class TestEnvironmentHook:
 
 
 class TestProvenance:
-    def test_four_passes_in_order(self):
+    def test_five_passes_in_order(self):
         compiled = compile_program(mixed_env())
         assert [p.name for p in compiled.provenance] == [
+            "lint",
             "canonicalize",
             "plan",
             "synthesize",
@@ -127,16 +128,72 @@ class TestProvenance:
             assert record.wall_s >= 0.0
             assert record.describe()
 
+    def test_lint_false_drops_the_pre_pass(self):
+        compiled = compile_program(mixed_env(), lint=False)
+        assert [p.name for p in compiled.provenance] == [
+            "canonicalize",
+            "plan",
+            "synthesize",
+            "assemble",
+        ]
+
     def test_provenance_details(self):
         env = mixed_env()
         compiled = compile_program(env)
-        canon, planned, synth, asm = compiled.provenance
+        lint, canon, planned, synth, asm = compiled.provenance
+        assert lint.items == env.num_constraints
+        assert lint.detail["error"] == 0
         assert canon.items == env.num_constraints
         assert canon.detail["classes"] == compiled.cache_stats["templates"]
         assert planned.detail["milp"] >= 2
         assert synth.detail["synthesized"] == compiled.cache_stats["templates"]
         assert asm.detail["ancillas"] == len(compiled.ancillas)
         assert asm.detail["hard_scale"] == compiled.hard_scale
+
+
+class TestLintPrePass:
+    """The opt-out program-lint pre-pass (see docs/analysis.md)."""
+
+    @staticmethod
+    def unsat_env() -> Env:
+        env = Env()
+        (a,) = env.register_ports(["a"])
+        env.nck([a, a], [1])  # reachable counts {0, 2} never hit {1}
+        return env
+
+    def test_byte_identical_with_and_without_lint(self):
+        linted = compile_program(mixed_env())
+        unlinted = compile_program(mixed_env(), lint=False)
+        assert programs_identical(linted, unlinted)
+
+    def test_errors_abort_with_the_canonicalize_message(self):
+        from repro.core.types import UnsatisfiableError
+
+        with pytest.raises(UnsatisfiableError) as linted:
+            compile_program(self.unsat_env())
+        with pytest.raises(UnsatisfiableError) as unlinted:
+            compile_program(self.unsat_env(), lint=False)
+        assert str(linted.value) == str(unlinted.value)
+
+    def test_env_to_qubo_threads_the_flag(self):
+        from repro.core.types import UnsatisfiableError
+
+        with pytest.raises(UnsatisfiableError):
+            self.unsat_env().to_qubo()
+        with pytest.raises(UnsatisfiableError):
+            self.unsat_env().to_qubo(lint=False)
+
+    def test_lint_telemetry_names(self):
+        from repro import telemetry
+
+        previous = telemetry.get_recorder()
+        try:
+            rec = telemetry.enable()
+            compile_program(mixed_env())
+            assert "compile.lint" in rec.span_names()
+            assert rec.counter_value("compile.lint.errors") == 0.0
+        finally:
+            telemetry.set_recorder(previous)
 
 
 class TestPipelineConfig:
@@ -160,6 +217,10 @@ class TestPipelineConfig:
     def test_disk_cache_requires_cache(self):
         with pytest.raises(ValueError, match="disk_cache=True requires cache=True"):
             compile_program(mixed_env(), cache=False, disk_cache=True)
+
+    def test_bad_lint_flag(self):
+        with pytest.raises(ValueError, match="lint must be a bool"):
+            PipelineConfig(lint="yes")
 
 
 class TestCompileConstraint:

@@ -78,6 +78,82 @@ class TestCLI:
             main(["fig99"])
 
 
+class TestLintCLI:
+    """The ``lint`` subcommand: text/JSON output and 0/1/2 exit codes."""
+
+    def test_self_lint_is_clean(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_program_lint_text(self, capsys):
+        assert main(["lint", "vertex-cover", "--n", "8"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_program_lint_json(self, capsys):
+        import json
+
+        assert main(["lint", "3sat", "--n", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["error"] == 0
+
+    def test_warning_findings_exit_1(self, capsys):
+        # An explicit non-dominating hard scale trips NCK201 (warning).
+        rc = main(["lint", "vertex-cover", "--n", "8", "--hard-scale", "0.5"])
+        assert rc == 1
+        assert "NCK201" in capsys.readouterr().out
+
+    def test_severity_gate_hides_warnings_and_exits_0(self, capsys):
+        argv = [
+            "lint", "vertex-cover", "--n", "8",
+            "--hard-scale", "0.5", "--min-severity", "error",
+        ]
+        assert main(argv) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_usage_errors_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint"])
+        assert excinfo.value.code == 2
+        assert "--self" in capsys.readouterr().err
+
+    def test_both_modes_at_once_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "3sat", "--self"])
+        assert excinfo.value.code == 2
+
+
+class TestRegistryHelpParity:
+    """Regression: --help derives from COMMANDS and must list them all.
+
+    The seed CLI crashed on ``--help`` (argparse %-interpolates help
+    strings, and fig7's registry help contains a literal ``%``), so the
+    parity assertions below double as the fix's regression test.
+    """
+
+    def render_help(self, capsys) -> str:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        return capsys.readouterr().out
+
+    def test_help_lists_every_registered_command(self, capsys):
+        from repro.__main__ import COMMANDS
+
+        out = self.render_help(capsys)
+        for cmd in COMMANDS:
+            assert f"\n    {cmd.name} " in out or f" {cmd.name}\n" in out, cmd.name
+        assert "lint" in out
+        assert "% optimal" in out  # the literal percent renders unmangled
+
+    def test_module_docstring_usage_block_lists_every_command(self):
+        import repro.__main__ as cli
+
+        usage = cli.__doc__
+        for cmd in cli.COMMANDS:
+            assert f" {cmd.name}" in usage, cmd.name
+
+
 class TestReportSections:
     """The report generator's cheap sections (full runs live in the CLI)."""
 
