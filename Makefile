@@ -4,7 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-slow docs-check lint lint-docstrings bench bench-smoke bench-compile trace-table1 all-checks
+.PHONY: test test-slow docs-check lint lint-docstrings certify bench bench-smoke bench-compile trace-table1 all-checks
+
+CERTIFY_PROBLEMS := vertex-cover max-cut clique-cover map-coloring exact-cover set-cover 3sat
 
 test:            ## tier-1 test suite (excludes @slow, per pyproject addopts)
 	$(PYTHON) -m pytest -x -q
@@ -22,11 +24,17 @@ lint:            ## static analysis: self-lint the codebase + analyzer test suit
 lint-docstrings: ## docstring presence + parameter-coverage lint
 	$(PYTHON) -m pytest tests/test_docstrings.py -q
 
+certify:         ## prove hard dominance + soft fidelity for every problem family
+	@for p in $(CERTIFY_PROBLEMS); do \
+		echo "== certify $$p =="; \
+		$(PYTHON) -m repro certify $$p || exit $$?; \
+	done
+
 bench:           ## regenerate every table & figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-bench-smoke:     ## tiny-budget benches: portfolio runtime + compiler pipeline
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_runtime.py benchmarks/bench_compile_pipeline.py --benchmark-only -s
+bench-smoke:     ## tiny-budget benches: portfolio runtime + compiler pipeline + certification
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_runtime.py benchmarks/bench_compile_pipeline.py benchmarks/bench_certify.py --benchmark-only -s
 
 bench-compile:   ## compiler-pipeline bench (cold vs warm disk cache, serial vs jobs)
 	$(PYTHON) -m pytest benchmarks/bench_compile_pipeline.py --benchmark-only -s
@@ -34,4 +42,4 @@ bench-compile:   ## compiler-pipeline bench (cold vs warm disk cache, serial vs 
 trace-table1:    ## smoke-run the telemetry pipeline end to end
 	$(PYTHON) -m repro trace table1
 
-all-checks: test docs-check lint
+all-checks: test docs-check lint certify

@@ -1,0 +1,98 @@
+"""Certification engine: compositional proof vs exhaustive enumeration.
+
+Certifies minimum-vertex-cover compilations of growing size and times
+the compositional certificate proof (``repro.analysis.certify``)
+against the exhaustive verifier
+(``repro.compile.validate.verify_compiled_program``):
+
+* **below the enumeration cap** both checkers run and must agree — the
+  wall-time gap is the price of enumerating ``2^n`` assignments vs
+  bounding a handful of per-constraint truth tables;
+* **above the cap** the exhaustive verifier refuses
+  (``ValidationCapExceeded``) and the certificate is the only proof
+  available — the row records its wall time and the verdict it reached.
+
+Results land in ``BENCH_certify.json`` for trend tracking.  Set
+``REPRO_BENCH_SMOKE=1`` (as ``make bench-smoke`` does) for a two-size
+sweep.
+
+Benchmarks the largest-instance certification as the kernel.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis import certify_program
+from repro.compile.validate import ValidationCapExceeded, verify_compiled_program
+from repro.problems import MinVertexCover, circulant_graph
+
+from conftest import banner
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+OUTPUT = "BENCH_certify.json"
+
+#: Circulant-graph sizes to certify; total variables = nodes + softs,
+#: so the later rows sit far beyond the 20-variable enumeration cap.
+SIZES = (6, 24) if SMOKE else (6, 8, 10, 24, 48, 96)
+
+
+def test_certify_vs_exhaustive(benchmark, full_scale):
+    rows = []
+    for n in SIZES:
+        env = MinVertexCover(circulant_graph(n)).build_env()
+        program = env.to_qubo()
+
+        t0 = time.perf_counter()
+        cert = certify_program(env, program)
+        certify_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        try:
+            verify_compiled_program(env, program)
+            exhaustive = "pass"
+        except ValidationCapExceeded:
+            exhaustive = "capped"
+        exhaustive_s = time.perf_counter() - t0
+
+        assert cert.verdict == "pass"
+        if exhaustive == "pass":
+            # Where both proofs run they must agree (and here, pass).
+            assert cert.dominance in ("proved", "enumerated-pass")
+        rows.append(
+            {
+                "n": n,
+                "variables": len(program.variables) + len(program.ancillas),
+                "constraints": len(cert.constraints),
+                "certify_s": certify_s,
+                "exhaustive": exhaustive,
+                "exhaustive_s": exhaustive_s,
+            }
+        )
+
+    banner("CERTIFICATION — compositional proof vs exhaustive enumeration")
+    print(f"{'n':>4} {'vars':>5} {'constraints':>11} "
+          f"{'certify_ms':>11} {'exhaustive':>11}")
+    for row in rows:
+        exhaustive = (
+            f"{row['exhaustive_s'] * 1e3:.1f} ms"
+            if row["exhaustive"] == "pass"
+            else "refused"
+        )
+        print(f"{row['n']:>4} {row['variables']:>5} {row['constraints']:>11} "
+              f"{row['certify_s'] * 1e3:>11.1f} {exhaustive:>11}")
+
+    capped = [row for row in rows if row["exhaustive"] == "capped"]
+    assert capped, "sweep never crossed the enumeration cap"
+    print(f"\n{len(capped)}/{len(rows)} sizes certified beyond the "
+          "exhaustive verifier's reach")
+
+    with open(OUTPUT, "w") as fh:
+        json.dump({"smoke": SMOKE, "rows": rows}, fh, indent=2)
+    print(f"results written to {OUTPUT}")
+
+    # Kernel: certify the largest instance in the sweep.
+    env = MinVertexCover(circulant_graph(SIZES[-1])).build_env()
+    program = env.to_qubo()
+    benchmark(lambda: certify_program(env, program))

@@ -18,6 +18,9 @@ Usage::
     python -m repro lint vertex-cover --n 20 \\
         [--json] [--min-severity LEVEL] [--hard-scale X] [--qubit-budget Q]
     python -m repro lint --self
+    python -m repro certify vertex-cover --n 24 \\
+        [--json] [--min-severity LEVEL] [--hard-scale X] [--out FILE] \\
+        [--cache-dir DIR] [--no-cache] [--no-fallback]
 
 Artifact subcommands print the measured rows/series of one paper
 artifact (the same output the benchmark harness produces, without
@@ -33,7 +36,11 @@ processes and ``--cache-dir DIR`` pointing the persistent template
 store somewhere explicit.  ``lint`` runs the static analyzers of
 :mod:`repro.analysis` — over a generated program, or over the repro
 codebase itself with ``--self`` — and exits 2/1/0 for
-errors/warnings/clean (see ``docs/analysis.md``).
+errors/warnings/clean (see ``docs/analysis.md``).  ``certify`` compiles
+an instance and runs the compositional certification engine
+(:mod:`repro.analysis.certify`) over the artifact — proving the hard
+dominance and soft fidelity claims without enumeration, serializing the
+certificate with ``--out``, and exiting by the same 2/1/0 convention.
 
 With ``trace`` (or ``--telemetry``, or ``REPRO_TELEMETRY=1`` in the
 environment) the run is instrumented: every pipeline stage records
@@ -386,6 +393,25 @@ def _lint(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# The certify subcommand (implemented in repro.analysis.cli)
+# ---------------------------------------------------------------------------
+
+
+def _configure_certify(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``certify``-specific arguments to its subparser."""
+    from .analysis.cli import configure_certify
+
+    configure_certify(parser)
+
+
+def _certify(args) -> int:
+    """Compile and certify an instance; exit 2 on errors, 1 on warnings."""
+    from .analysis.cli import run_certify
+
+    return run_certify(args)
+
+
+# ---------------------------------------------------------------------------
 # The command registry — the single source of truth for the CLI surface
 # ---------------------------------------------------------------------------
 
@@ -441,6 +467,13 @@ COMMANDS: tuple[Command, ...] = (
         "statically analyze a generated program, or the codebase (--self)",
         _lint,
         configure=_configure_lint,
+        artifact=False,
+    ),
+    Command(
+        "certify",
+        "compile an instance and prove hard dominance + soft fidelity",
+        _certify,
+        configure=_configure_certify,
         artifact=False,
     ),
 )

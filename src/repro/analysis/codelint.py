@@ -21,6 +21,10 @@ REP203   warning   mutable default argument (list/dict/set literal or
 REP301   error     telemetry span/metric name outside the declared
                    :data:`~repro.telemetry.naming.KNOWN_SPAN_PREFIXES`
                    registry or violating ``<subsystem>.<event>`` form
+REP302   error     diagnostic-code drift — a ``NCK###``/``REP###`` code
+                   emitted from ``repro.analysis`` with no catalog entry
+                   in ``docs/analysis.md``, or a catalogued code that is
+                   never emitted
 REP401   error     ``__all__`` drift — listed names that are unbound, or
                    public module-level definitions left unlisted
 =======  ========  =====================================================
@@ -78,6 +82,7 @@ DOCSTRING_MODULES: tuple[str, ...] = (
     "analysis/codelint.py",
     "analysis/report.py",
     "analysis/cli.py",
+    "analysis/certify.py",
     "__main__.py",
 )
 
@@ -104,6 +109,8 @@ PARAM_COVERAGE: tuple[tuple[str, str], ...] = (
     ("telemetry/recorder.py", "enable"),
     ("analysis/program.py", "lint_program"),
     ("analysis/codelint.py", "lint_file"),
+    ("analysis/certify.py", "certify_program"),
+    ("analysis/certify.py", "check_energy"),
 )
 
 _NOQA = re.compile(r"#\s*nck:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?")
@@ -508,6 +515,96 @@ def _check_telemetry_names(module: ModuleUnderLint) -> Iterator[Diagnostic]:
                 line=arg.lineno,
                 column=arg.col_offset,
             )
+
+
+#: A whole string literal that *is* a diagnostic code (as passed to the
+#: rule registries and ``Diagnostic(code=...)`` constructors), as opposed
+#: to prose that merely mentions one.
+_CODE_LITERAL = re.compile(r"^(?:NCK|REP)\d{3}$")
+
+#: A bold ``**NCK101 — name**`` rule-catalog entry in ``docs/analysis.md``.
+_CATALOG_ENTRY = re.compile(r"\*\*((?:NCK|REP)\d{3})\b")
+
+
+def _docs_catalog(module: ModuleUnderLint) -> tuple[pathlib.Path, set[str]] | None:
+    """Locate ``docs/analysis.md`` above ``module`` and parse its catalog.
+
+    Walks the module's parent directories looking for a ``docs/analysis.md``
+    sibling tree (the source checkout layout).  Returns ``None`` when no
+    such file exists — e.g. an installed package without the docs tree —
+    so REP302 degrades to a silent no-op there.
+    """
+    for parent in module.path.resolve().parents:
+        candidate = parent / "docs" / "analysis.md"
+        if candidate.is_file():
+            return candidate, set(_CATALOG_ENTRY.findall(candidate.read_text()))
+    return None
+
+
+@_rule(
+    "REP302",
+    "diagnostic-code-drift",
+    Severity.ERROR,
+    "emitted diagnostic codes disagree with the docs/analysis.md catalog",
+)
+def _check_code_drift(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """REP302: emitted diagnostic codes ⇔ the ``docs/analysis.md`` catalog.
+
+    Anchored to ``analysis/diagnostics.py`` (the module defining the
+    Diagnostic model) so the check runs exactly once per package lint.
+    The *emitted* set is every whole-string ``NCK###``/``REP###``
+    literal found in the sibling ``analysis/*.py`` modules — rule
+    registrations and ``Diagnostic`` constructions both pass codes as
+    bare literals, while prose mentions live inside longer strings and
+    never match.  The *catalogued* set is every bold ``**CODE — name**``
+    entry in the docs rule catalog.  Drift in either direction is an
+    error: an undocumented code ships findings users cannot look up; a
+    stale catalog entry documents a rule that no longer exists.
+    """
+    if module.relpath != "analysis/diagnostics.py":
+        return
+    found = _docs_catalog(module)
+    if found is None:
+        return
+    docs_path, catalogued = found
+    emitted: dict[str, str] = {}
+    for sibling in sorted(module.path.parent.glob("*.py")):
+        try:
+            tree = ast.parse(sibling.read_text(), filename=str(sibling))
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _CODE_LITERAL.match(node.value)
+            ):
+                emitted.setdefault(node.value, sibling.name)
+    for code in sorted(set(emitted) - catalogued):
+        yield _diag(
+            module,
+            "REP302",
+            Severity.ERROR,
+            f"diagnostic code {code!r} is emitted in "
+            f"analysis/{emitted[code]} but has no rule-catalog entry in "
+            f"{docs_path.name}",
+            line=1,
+            obj=code,
+            hint="add a '**CODE — name**' entry to the docs/analysis.md "
+            "rule catalog",
+        )
+    for code in sorted(catalogued - set(emitted)):
+        yield _diag(
+            module,
+            "REP302",
+            Severity.ERROR,
+            f"diagnostic code {code!r} is catalogued in {docs_path.name} "
+            "but never emitted from repro.analysis",
+            line=1,
+            obj=code,
+            hint="delete the stale catalog entry or restore the rule that "
+            "emitted it",
+        )
 
 
 @_rule(

@@ -1,8 +1,9 @@
 """The shared diagnostic model of :mod:`repro.analysis`.
 
-Both analyzers — the NchooseK program linter
-(:mod:`repro.analysis.program`) and the codebase lint engine
-(:mod:`repro.analysis.codelint`) — emit the same value type: a
+Every analyzer — the NchooseK program linter
+(:mod:`repro.analysis.program`), the codebase lint engine
+(:mod:`repro.analysis.codelint`), and the certification engine
+(:mod:`repro.analysis.certify`) — emits the same value type: a
 :class:`Diagnostic` carrying a stable rule code, a severity, a location
 (source file/line for code lints, constraint/variable identity for
 program lints), a message, and an optional fix hint.  One model means
@@ -17,6 +18,11 @@ Rule-code families
     Energy-scale hygiene: soft weights vs. the hard-penalty gap.
 ``NCK3xx``
     Resource budgets: qubit-count estimates vs. a device budget.
+``NCK4xx``
+    Certification (:mod:`repro.analysis.certify`): hard-dominance not
+    established or refuted, soft-fidelity violations, per-constraint /
+    whole-program QUBO sum mismatches, structural certificate problems,
+    inconclusive constraints.
 ``REP1xx``
     Repository docstring hygiene (presence + parameter coverage).
 ``REP2xx``

@@ -24,10 +24,16 @@ from .synthesize import (
     verify_constraint_qubo,
 )
 from .truthtable import TruthTable, build_truth_table
-from .validate import ProgramValidationError, verify_compiled_program
+from .validate import (
+    ATOL,
+    ProgramValidationError,
+    ValidationCapExceeded,
+    verify_compiled_program,
+)
 
 __all__ = [
     "ANCILLA_PREFIX",
+    "ATOL",
     "CACHE_DIR_ENV",
     "CompiledProgram",
     "GAP",
@@ -50,5 +56,6 @@ __all__ = [
     "template_key",
     "verify_constraint_qubo",
     "ProgramValidationError",
+    "ValidationCapExceeded",
     "verify_compiled_program",
 ]

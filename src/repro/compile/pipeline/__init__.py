@@ -18,6 +18,12 @@ intermediate representation:
 4. **assemble** (:mod:`.assemble`) — instantiate, scale, and sum into
    the final :class:`~repro.compile.program.CompiledProgram`.
 
+An opt-in **certify** post-pass (``PipelineConfig(certify=True)``,
+:mod:`repro.analysis.certify`) follows assembly: it proves hard
+dominance and soft fidelity compositionally and attaches the resulting
+:class:`~repro.analysis.certify.ProgramCertificate` to the compiled
+program, aborting on a ``fail`` verdict.
+
 Each pass runs under a ``compile.pass.<name>`` telemetry span and
 contributes a :class:`~repro.compile.pipeline.base.PassProvenance`
 record to the compiled program, so ``python -m repro compile`` can show
@@ -101,6 +107,60 @@ def _lint_pre_pass(env: "Env", config: PipelineConfig) -> PassProvenance:
         wall_s=perf_counter() - t0,
         items=len(env.constraints),
         detail=severity_counts(diagnostics),
+    )
+
+
+def _certify_post_pass(
+    env: "Env", program: "CompiledProgram", config: PipelineConfig
+) -> PassProvenance:
+    """Certify the assembled program and attach the certificate.
+
+    Runs :func:`repro.analysis.certify.certify_program` under a
+    ``compile.pass.certify`` span, caching per-constraint energy
+    profiles next to the template store when the disk tier is enabled.
+    A ``fail`` verdict aborts with
+    :class:`~repro.analysis.certify.CertificationError`; ``pass`` and
+    ``inconclusive`` verdicts ride along as provenance + the
+    ``compile.certify.*`` counters, never changing the compiled output.
+    """
+    from ...analysis.certify import (
+        CertificateStore,
+        CertificationError,
+        certificate_diagnostics,
+        certify_program,
+    )
+    from ...analysis.diagnostics import Severity
+
+    t0 = perf_counter()
+    with telemetry.span("compile.pass.certify"):
+        store = (
+            CertificateStore(config.resolved_cache_dir() / "certs")
+            if config.disk_enabled
+            else None
+        )
+        certificate = certify_program(env, program, store=store)
+        telemetry.count("compile.certify.programs")
+        if certificate.verdict != "pass":
+            telemetry.count(f"compile.certify.{certificate.verdict}")
+    if certificate.verdict == "fail":
+        errors = [
+            d
+            for d in certificate_diagnostics(certificate)
+            if d.severity >= Severity.ERROR
+        ]
+        detail = errors[0].message if errors else certificate.dominance
+        raise CertificationError(f"certification failed: {detail}")
+    program.certificate = certificate
+    return PassProvenance(
+        name="certify",
+        wall_s=perf_counter() - t0,
+        items=len(certificate.constraints),
+        detail={
+            "verdict": certificate.verdict,
+            "dominance": certificate.dominance,
+            "soft_fidelity": certificate.soft_fidelity,
+            "cached": sum(1 for c in certificate.constraints if c.cached),
+        },
     )
 
 
@@ -213,7 +273,7 @@ def run_pipeline(env: "Env", config: PipelineConfig) -> "CompiledProgram":
             "disk_misses": outcome.disk_misses,
             "disk_errors": outcome.disk_errors,
         }
-        return CompiledProgram(
+        compiled = CompiledProgram(
             qubo=fields["qubo"],
             variables=fields["variables"],
             ancillas=fields["ancillas"],
@@ -223,3 +283,7 @@ def run_pipeline(env: "Env", config: PipelineConfig) -> "CompiledProgram":
             soft_penalties_exact=fields["soft_penalties_exact"],
             provenance=tuple(provenance),
         )
+        if config.certify:
+            provenance.append(_certify_post_pass(env, compiled, config))
+            compiled.provenance = tuple(provenance)
+        return compiled

@@ -49,6 +49,13 @@ class PipelineConfig:
         canonicalization (the default).  Error-severity findings abort
         compilation; the pass never changes the compiled output, so
         ``lint=False`` produces byte-identical programs on clean input.
+    certify:
+        Run the :mod:`repro.analysis.certify` post-pass after assembly
+        (off by default).  The pass attaches a
+        :class:`~repro.analysis.certify.ProgramCertificate` to the
+        compiled program and raises
+        :class:`~repro.analysis.certify.CertificationError` on a
+        ``fail`` verdict; it never changes the compiled QUBO.
     """
 
     cache: bool = True
@@ -57,6 +64,7 @@ class PipelineConfig:
     disk_cache: bool | None = None
     cache_dir: str | None = None
     lint: bool = True
+    certify: bool = False
 
     def __post_init__(self) -> None:
         """Reject invalid option combinations loudly and early."""
@@ -81,6 +89,8 @@ class PipelineConfig:
             )
         if not isinstance(self.lint, bool):
             raise ValueError(f"lint must be a bool, got {self.lint!r}")
+        if not isinstance(self.certify, bool):
+            raise ValueError(f"certify must be a bool, got {self.certify!r}")
 
     @property
     def disk_enabled(self) -> bool:

@@ -71,6 +71,10 @@ class CompiledProgram:
         Per-pass :class:`~repro.compile.pipeline.PassProvenance` records
         (name, wall time, item count, detail) in execution order —
         rendered by ``python -m repro compile``.
+    certificate:
+        The :class:`~repro.analysis.certify.ProgramCertificate` attached
+        by the opt-in certify pass (``compile_program(certify=True)``),
+        or ``None`` when certification did not run.
     """
 
     qubo: QUBO
@@ -86,6 +90,7 @@ class CompiledProgram:
     #: larger ``hard_scale``.
     soft_penalties_exact: bool = True
     provenance: tuple = ()
+    certificate: object = None
 
     @property
     def all_variables(self) -> tuple[str, ...]:
@@ -115,6 +120,7 @@ def compile_program(
     disk_cache: bool | None = None,
     cache_dir: str | None = None,
     lint: bool = True,
+    certify: bool = False,
 ) -> CompiledProgram:
     """Compile ``env``'s program to a QUBO.
 
@@ -144,12 +150,21 @@ def compile_program(
         (the default); error findings abort before synthesis.  The pass
         never alters the compiled output, so ``lint=False`` yields a
         byte-identical program on clean input.
+    certify:
+        Run the :func:`repro.analysis.certify.certify_program` post-pass
+        (off by default): proves hard dominance and soft fidelity
+        compositionally, attaches the certificate to the returned
+        program, and raises on a ``fail`` verdict.  Never changes the
+        compiled QUBO.
 
     Raises
     ------
     UnsatisfiableError
         If any single hard constraint is unsatisfiable in isolation.
         (Joint unsatisfiability across constraints is a backend's job.)
+    CertificationError
+        Under ``certify=True``, if certification returns a ``fail``
+        verdict.
     ValueError
         On invalid option combinations (non-positive ``hard_scale`` or
         ``jobs``, disk options contradicting ``cache``/each other).
@@ -163,6 +178,7 @@ def compile_program(
         disk_cache=disk_cache,
         cache_dir=cache_dir,
         lint=lint,
+        certify=certify,
     )
     return run_pipeline(env, config)
 

@@ -31,9 +31,24 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Enumeration cap (environment variables + ancillas).
 MAX_VALIDATION_VARIABLES = 20
 
+#: Absolute tolerance for every energy comparison made by this module and
+#: by the certificate engine (:mod:`repro.analysis.certify`).  One shared
+#: constant so the exhaustive verifier and the compositional certifier can
+#: never disagree about what "equal" means.
+ATOL = 1e-6
+
 
 class ProgramValidationError(AssertionError):
     """The compiled QUBO does not implement the program's semantics."""
+
+
+class ValidationCapExceeded(ValueError):
+    """The program is too large for exhaustive enumeration.
+
+    Distinguishes "too big to enumerate" from genuinely bad arguments so
+    callers (the ``certify`` CLI in particular) can fall back to
+    compositional certificates instead of treating the cap as an error.
+    """
 
 
 def verify_compiled_program(env: "Env", program: CompiledProgram) -> None:
@@ -42,7 +57,7 @@ def verify_compiled_program(env: "Env", program: CompiledProgram) -> None:
     ancillas = list(program.ancillas)
     total_vars = len(names) + len(ancillas)
     if total_vars > MAX_VALIDATION_VARIABLES:
-        raise ValueError(
+        raise ValidationCapExceeded(
             f"{total_vars} variables exceed the exhaustive validation cap "
             f"({MAX_VALIDATION_VARIABLES})"
         )
@@ -79,26 +94,31 @@ def verify_compiled_program(env: "Env", program: CompiledProgram) -> None:
     worst_feasible = energies[hard_ok].max()
     if (~hard_ok).any():
         best_infeasible = energies[~hard_ok].min()
-        if best_infeasible <= worst_feasible + 1e-9:
+        if best_infeasible <= worst_feasible + ATOL:
             raise ProgramValidationError(
                 f"hard-violating assignment at energy {best_infeasible:g} "
                 f"undercuts feasible assignment at {worst_feasible:g}"
             )
 
     # 2. Soft fidelity: energy = GAP × (violated softs) on feasible rows.
+    # Unsatisfiable soft constraints are dropped by canonicalization (they
+    # penalize every assignment equally, a constant the QUBO omits), so
+    # they must not count toward the expected penalty either.
     # Exact only when every soft constraint compiled to an exact penalty;
     # otherwise check the weaker guarantee that energies are bounded by
     # the per-violation interval [GAP, ∞) and the argmin is soft-maximal.
-    num_soft = len(env.soft_constraints)
+    num_soft = sum(
+        1 for c in env.soft_constraints if not c.is_unsatisfiable()
+    )
     expected = GAP * (num_soft - soft_sat[hard_ok])
     if program.soft_penalties_exact:
-        if not np.allclose(energies[hard_ok], expected, atol=1e-6):
+        if not np.allclose(energies[hard_ok], expected, atol=ATOL):
             worst = np.abs(energies[hard_ok] - expected).max()
             raise ProgramValidationError(
                 f"feasible energies deviate from GAP × violated-softs by {worst:g}"
             )
     else:
-        if (energies[hard_ok] < expected - 1e-6).any():
+        if (energies[hard_ok] < expected - ATOL).any():
             raise ProgramValidationError(
                 "a feasible assignment undercuts GAP × violated-softs"
             )

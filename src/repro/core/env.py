@@ -206,6 +206,7 @@ class Env:
         disk_cache: bool | None = None,
         cache_dir: str | None = None,
         lint: bool = True,
+        certify: bool = False,
     ) -> "QUBO":
         """Compile the whole program to a QUBO (Section V).
 
@@ -214,10 +215,12 @@ class Env:
         constraint template cache, ``hard_scale`` overrides the
         hard-constraint scaling factor, ``jobs`` sets the worker-process
         count for MILP-bound synthesis, ``disk_cache`` / ``cache_dir``
-        control the persistent on-disk template store, and ``lint``
+        control the persistent on-disk template store, ``lint``
         (default on) runs the program-linter pre-pass whose errors abort
-        compilation.  Unknown or contradictory options raise
-        ``ValueError`` up front.
+        compilation, and ``certify`` (default off) runs the
+        certification post-pass that proves hard dominance and soft
+        fidelity of the compiled artifact.  Unknown or contradictory
+        options raise ``ValueError`` up front.
         """
         from ..compile.program import compile_program
 
@@ -229,6 +232,7 @@ class Env:
             disk_cache=disk_cache,
             cache_dir=cache_dir,
             lint=lint,
+            certify=certify,
         )
 
     def solve(self, backend=None, **kwargs) -> "Solution":

@@ -132,6 +132,26 @@ def _run_portfolio(env, program, backends, strategy, policy, seed_root, seed_lab
         st.future = None
         st.finished = True
 
+    def certificate_check(sol) -> dict:
+        """Cross-check a hard-feasible solution against the certificate.
+
+        When the compiled program carries a
+        :class:`~repro.analysis.certify.ProgramCertificate`, the
+        backend-reported energy must stay out of the proven infeasible
+        band; an answer inside it is flagged (and counted under
+        ``runtime.certificate_violations``) rather than rejected, since
+        some backends report energies at unminimized ancillas.
+        """
+        certificate = getattr(program, "certificate", None)
+        if certificate is None:
+            return {}
+        from ..analysis.certify import check_energy
+
+        status = check_energy(certificate, sol.energy)
+        if status not in ("consistent", "uncertified"):
+            telemetry.count("runtime.certificate_violations")
+        return {"certificate": status}
+
     def process(st: _BackendState, outcome, now: float) -> None:
         nonlocal unsat
         kind, payload, wall = outcome
@@ -146,6 +166,7 @@ def _run_portfolio(env, program, backends, strategy, policy, seed_root, seed_lab
                         wall_s=wall,
                         soft_satisfied=sol.soft_satisfied,
                         energy=sol.energy,
+                        metadata=certificate_check(sol),
                     )
                 )
                 candidates.append((sol, st.backend.name))
@@ -256,6 +277,7 @@ def _run_portfolio(env, program, backends, strategy, policy, seed_root, seed_lab
                         wall_s=wall,
                         soft_satisfied=sol.soft_satisfied,
                         energy=sol.energy,
+                        metadata=certificate_check(sol),
                     )
                 )
                 candidates.append((sol, fallback.name))

@@ -31,7 +31,10 @@ class AttemptRecord:
     retried twice leaves records with ``attempt`` 1, 2, and 3.
     ``wall_s`` is the attempt's wall-clock time as observed by the
     orchestrator (for a timeout, the time until the deadline fired, not
-    until the abandoned thread eventually finished).
+    until the abandoned thread eventually finished).  ``metadata``
+    carries orchestrator-side annotations — today the ``"certificate"``
+    cross-check verdict when the compiled program carries a
+    :class:`~repro.analysis.certify.ProgramCertificate`.
     """
 
     backend: str
@@ -41,6 +44,7 @@ class AttemptRecord:
     error: str | None = None
     soft_satisfied: int | None = None
     energy: float | None = None
+    metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.status not in ATTEMPT_STATUSES:

@@ -26,6 +26,7 @@ KNOWN_SPAN_PREFIXES: frozenset[str] = frozenset(
         "classical",
         "runtime",
         "experiments",
+        "analysis",
     }
 )
 

@@ -148,6 +148,61 @@ class TestRuleFixtures:
         (diag,) = lint_file(path, root=tmp_path, rules=("REP301",))
         assert diag.line == 5  # only the prefix-less f-string
 
+    def _code_drift_tree(self, tmp_path, *, emitted, catalogued):
+        """A scratch tree with an analysis package and a docs catalog."""
+        for i, code in enumerate(emitted):
+            write(
+                tmp_path,
+                f"analysis/emitter{i}.py",
+                f'CODE = "{code}"\n',
+            )
+        write(
+            tmp_path,
+            "docs/analysis.md",
+            "\n".join(f"**{code} — some rule** (error). Prose." for code in catalogued)
+            + "\n",
+        )
+        return write(tmp_path, "analysis/diagnostics.py", '"""Anchor."""\n')
+
+    def test_rep302_emitted_but_uncatalogued(self, tmp_path):
+        anchor = self._code_drift_tree(
+            tmp_path, emitted=["NCK401", "NCK101"], catalogued=["NCK101"]
+        )
+        (diag,) = lint_file(anchor, root=tmp_path, rules=("REP302",))
+        assert diag.code == "REP302" and diag.obj == "NCK401"
+        assert "no rule-catalog entry" in diag.message
+
+    def test_rep302_catalogued_but_unemitted(self, tmp_path):
+        anchor = self._code_drift_tree(
+            tmp_path, emitted=["NCK101"], catalogued=["NCK101", "REP999"]
+        )
+        (diag,) = lint_file(anchor, root=tmp_path, rules=("REP302",))
+        assert diag.obj == "REP999"
+        assert "never emitted" in diag.message
+
+    def test_rep302_prose_mentions_are_not_emissions(self, tmp_path):
+        # A code inside a longer string (docstring prose) is not an
+        # emission; only whole-string literals count.
+        write(
+            tmp_path,
+            "analysis/prose.py",
+            '"""Mentions NCK999 in passing."""\n',
+        )
+        write(tmp_path, "docs/analysis.md", "**NCK101 — rule**\n")
+        anchor = write(
+            tmp_path, "analysis/diagnostics.py", 'CODE = "NCK101"\n'
+        )
+        assert lint_file(anchor, root=tmp_path, rules=("REP302",)) == []
+
+    def test_rep302_silent_without_docs_tree(self, tmp_path):
+        anchor = write(tmp_path, "analysis/diagnostics.py", 'CODE = "NCK999"\n')
+        assert lint_file(anchor, root=tmp_path, rules=("REP302",)) == []
+
+    def test_rep302_only_fires_on_the_anchor_module(self, tmp_path):
+        write(tmp_path, "docs/analysis.md", "**REP999 — stale**\n")
+        other = write(tmp_path, "analysis/other.py", "x = 1\n")
+        assert lint_file(other, root=tmp_path, rules=("REP302",)) == []
+
     def test_rep401_drift_both_ways(self, tmp_path):
         path = write(
             tmp_path,
@@ -235,7 +290,7 @@ class TestSelfLint:
     def test_registry_covers_the_documented_codes(self):
         assert set(CODE_RULES) == {
             "REP101", "REP102", "REP201", "REP202", "REP203", "REP301",
-            "REP401",
+            "REP302", "REP401",
         }
 
     def test_scoped_module_lists_point_at_real_files(self):
@@ -252,7 +307,7 @@ class TestTelemetryNamingRegistry:
     def test_known_prefixes(self):
         assert KNOWN_SPAN_PREFIXES == {
             "compile", "anneal", "circuit", "classical", "runtime",
-            "experiments",
+            "experiments", "analysis",
         }
 
     @pytest.mark.parametrize(

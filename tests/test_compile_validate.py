@@ -11,8 +11,10 @@ import pytest
 
 from repro.compile import compile_program
 from repro.compile.validate import (
+    ATOL,
     MAX_VALIDATION_VARIABLES,
     ProgramValidationError,
+    ValidationCapExceeded,
     verify_compiled_program,
 )
 from repro.core import Env
@@ -61,12 +63,42 @@ class TestVerifyCompiledProgram:
         with pytest.raises(ValueError):
             verify_compiled_program(env, program)
 
+    def test_size_cap_raises_the_dedicated_subclass(self):
+        env = Env()
+        env.nck([f"v{i}" for i in range(MAX_VALIDATION_VARIABLES + 1)], [1])
+        program = compile_program(env)
+        # Distinguishable from a validation *failure*, so callers (the
+        # certify CLI, the certification fallback) can tell "too big to
+        # check" apart from "checked and wrong".
+        with pytest.raises(ValidationCapExceeded):
+            verify_compiled_program(env, program)
+        assert issubclass(ValidationCapExceeded, ValueError)
+        assert not issubclass(ValidationCapExceeded, ProgramValidationError)
+
+    def test_shared_atol_constant(self):
+        # One tolerance for the exhaustive verifier and the certificate
+        # engine, so their verdicts cannot diverge on boundary energies.
+        from repro.analysis.certify import ATOL as CERT_ATOL
+
+        assert ATOL == CERT_ATOL == 1e-6
+
     def test_jointly_unsatisfiable_is_vacuous(self):
         env = Env()
         env.nck(["a", "b"], [1])
         env.nck(["a", "b"], [0, 2])
         program = compile_program(env)
         verify_compiled_program(env, program)  # nothing to check
+
+    def test_dropped_soft_constraints_are_not_counted(self):
+        # An unsatisfiable *soft* constraint is dropped at compile time
+        # (it penalizes every assignment equally); the verifier must not
+        # expect its GAP contribution in the feasible-energy identity.
+        env = Env()
+        env.nck(["a", "b"], [1, 2])
+        env.nck(["a", "a"], [1], soft=True)  # reachable counts {0, 2}
+        env.prefer_false("a")
+        program = compile_program(env)
+        verify_compiled_program(env, program)
 
 
 class TestRandomizedAudit:
