@@ -263,7 +263,29 @@ class AnnealingDevice:
             spin_blocks.append(result.spins * gauge.astype(np.int8))
         all_spins = np.vstack(spin_blocks)[:num_reads]
 
-        # Unembed each read: majority vote within each chain.
+        sample_set = self._unembed(env, program, embedding, all_spins, order, num_reads)
+        tspan.set(
+            physical_qubits=embedding.num_physical_qubits,
+            broken_chains=sample_set.metadata["broken_chains"],
+            logical_variables=sample_set.metadata["logical_variables"],
+        )
+        return sample_set
+
+    def _unembed(
+        self,
+        env: "Env",
+        program: CompiledProgram,
+        embedding: Embedding,
+        all_spins: np.ndarray,
+        order: tuple[str, ...],
+        num_reads: int,
+    ) -> SampleSet:
+        """Majority-vote unembedding + post-processing into a SampleSet.
+
+        Shared tail of :meth:`sample` and :meth:`sample_batch`: resolve
+        each chain by majority vote, optionally run greedy descent, and
+        re-evaluate energies against the noiseless logical model.
+        """
         col = {q: i for i, q in enumerate(order)}
         logical_vars = tuple(program.qubo.variables)
         chain_cols = {
@@ -308,11 +330,6 @@ class AnnealingDevice:
         telemetry.count("anneal.jobs")
         telemetry.count("anneal.broken_chains", broken)
         telemetry.gauge("anneal.physical_qubits", embedding.num_physical_qubits)
-        tspan.set(
-            physical_qubits=embedding.num_physical_qubits,
-            broken_chains=broken,
-            logical_variables=len(logical_vars),
-        )
         return SampleSet(
             solutions=solutions,
             backend=self.name,
@@ -324,6 +341,120 @@ class AnnealingDevice:
                 "logical_variables": len(logical_vars),
             },
         )
+
+    # ------------------------------------------------------------------
+    def sample_batch(
+        self,
+        envs: "list[Env]",
+        num_reads: int | None = None,
+        rngs: "list[np.random.Generator] | None" = None,
+        seed: int | np.random.SeedSequence | None = None,
+        programs: "list[CompiledProgram] | None" = None,
+        representation: str | None = None,
+        **compile_kwargs,
+    ) -> list[SampleSet]:
+        """Run one fused job for *many* programs (one SampleSet each).
+
+        Each env in ``envs`` compiles and embeds independently, but all
+        programs anneal together in one block-diagonal spin matrix (see
+        :meth:`SimulatedAnnealingSampler.sample_batch`), so the sweep
+        loop runs once for the whole batch instead of once per program.
+        ``num_reads`` applies to every program (default: the profile's
+        job size).  ``rngs`` supplies one generator per program; with
+        ``rngs=None``, independent streams are spawned from ``seed``.
+        Precompiled ``programs`` may be supplied to skip compilation;
+        ``representation`` forces the ``"dense"`` or ``"sparse"`` kernel
+        for the fused matrix; remaining keyword arguments
+        (``compile_kwargs``) flow to :meth:`Env.to_qubo`.
+
+        Because each program's physical model is normalized to unit
+        coefficient scale before fusing, the shared anneal schedule is
+        equivalent to the per-program adaptive schedule of
+        :meth:`sample`; energies are still evaluated against each
+        program's noiseless logical model.
+        """
+        envs = list(envs)
+        num_reads = num_reads or self.profile.default_num_reads
+        if rngs is not None:
+            rngs = list(rngs)
+            if len(rngs) != len(envs):
+                raise ValueError("need exactly one rng per env")
+        else:
+            root = (
+                seed
+                if isinstance(seed, np.random.SeedSequence)
+                else np.random.SeedSequence(seed)
+            )
+            rngs = [np.random.default_rng(s) for s in root.spawn(max(1, len(envs)))]
+        if programs is not None and len(programs) != len(envs):
+            raise ValueError("need exactly one precompiled program per env")
+        if not envs:
+            return []
+
+        with telemetry.span(
+            "anneal.batch_job",
+            device=self.name,
+            programs=len(envs),
+            num_reads=num_reads,
+        ) as tspan:
+            jobs = []
+            for i, env in enumerate(envs):
+                program = programs[i] if programs is not None else env.to_qubo(**compile_kwargs)
+                logical = qubo_to_ising(program.qubo)
+                embedding = self.embed(program, rng=rngs[i])
+                physical, _ = self._embedded_model(logical, embedding)
+                jobs.append((env, program, embedding, physical, tuple(physical.variables)))
+
+            transforms = max(1, self.num_spin_reversal_transforms)
+            reads_per = -(-num_reads // transforms)  # ceil division
+            blocks: list[list[np.ndarray]] = [[] for _ in envs]
+            if self._custom_schedule:
+                schedule = self.sampler.schedule
+            else:
+                # One shared schedule for the fused sweep: each program's
+                # model is normalized to unit coefficient scale below, so
+                # the fixed ramp is the per-program adaptive schedule of
+                # :meth:`sample` in disguise.
+                schedule = AnnealSchedule(
+                    beta_min=0.05,
+                    beta_max=10.0,
+                    num_sweeps=max(self.sampler.schedule.num_sweeps, 512),
+                )
+            for _ in range(transforms):
+                models, gauges = [], []
+                for i, (env, program, embedding, physical, order) in enumerate(jobs):
+                    if self.num_spin_reversal_transforms > 0:
+                        gauge = rngs[i].choice(np.array([-1.0, 1.0]), size=len(order))
+                    else:
+                        gauge = np.ones(len(order))
+                    programmed = self.profile.noise.apply(
+                        _apply_gauge(physical, order, gauge), rngs[i]
+                    )
+                    if not self._custom_schedule:
+                        scale = max(programmed.max_abs_coefficient(), 1e-12)
+                        programmed = _scaled(programmed, 1.0 / scale)
+                    models.append(programmed)
+                    gauges.append(gauge)
+                fused = self.sampler.sample_batch(
+                    models,
+                    num_reads=reads_per,
+                    rngs=rngs,
+                    variables=[j[4] for j in jobs],
+                    schedule=schedule,
+                    representation=representation,
+                )
+                for i, result in enumerate(fused):
+                    blocks[i].append(result.spins * gauges[i].astype(np.int8))
+
+            out = []
+            broken = 0
+            for i, (env, program, embedding, physical, order) in enumerate(jobs):
+                all_spins = np.vstack(blocks[i])[:num_reads]
+                ss = self._unembed(env, program, embedding, all_spins, order, num_reads)
+                broken += ss.metadata["broken_chains"]
+                out.append(ss)
+            tspan.set(programs=len(envs), broken_chains=broken)
+            return out
 
     # ------------------------------------------------------------------
     def embed(
@@ -397,6 +528,21 @@ class AnnealingDevice:
                 h.setdefault(pname(q), 0.0)
 
         return IsingModel(h=h, J=J, offset=logical.offset), chain_edges
+
+
+def _scaled(model: IsingModel, factor: float) -> IsingModel:
+    """The model with every coefficient multiplied by ``factor``.
+
+    Positive scaling preserves the energy ordering (and Metropolis
+    dynamics, once the schedule absorbs the inverse factor); the offset
+    is left alone because batch callers re-evaluate energies against the
+    logical model anyway.
+    """
+    return IsingModel(
+        h={v: factor * hv for v, hv in model.h.items()},
+        J={k: factor * jv for k, jv in model.J.items()},
+        offset=model.offset,
+    )
 
 
 def _apply_gauge(

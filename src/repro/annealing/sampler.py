@@ -8,27 +8,38 @@ gaps — is shared by classical simulated annealing over the same Ising
 model, which is the standard software surrogate (D-Wave ships one as
 ``neal``).  This sampler is the core of our Advantage-device substitute.
 
-Implementation notes (HPC-guide idioms):
+Implementation notes (HPC-guide idioms; full contract in
+``docs/numerics.md``):
 
 * all ``num_reads`` replicas anneal simultaneously as rows of one spin
   matrix, so a sweep is a handful of BLAS/numpy ops over the whole batch;
-* within a sweep, spins update in a checkerboard-free sequential-random
-  order approximated by evaluating all single-flip energy deltas at once
-  and applying Metropolis acceptance to a random half of the spins — the
-  local fields are then recomputed; two such half-updates per sweep give
-  detailed-balance-respecting dynamics in practice.
+* spins are partitioned into coupling-graph independent sets (greedy
+  coloring) and each color class updates simultaneously with exact
+  Metropolis dynamics — no co-flip artifacts, every update batched;
+* the per-class local fields come from either a dense BLAS product or a
+  sparse CSR product, chosen by the shared density heuristic
+  (:func:`repro.qubo.matrix.preferred_representation`) — Table-1-scale
+  coupling graphs are overwhelmingly sparse, and the CSR kernel's cost
+  scales with couplers instead of ``n**2``;
+* :meth:`SimulatedAnnealingSampler.sample_batch` fuses *many programs*
+  into one block-diagonal coupling matrix and one spin matrix, so a
+  whole batch sweeps per BLAS/CSR call instead of per-program Python
+  loops.  Per-program RNG streams keep each program's samples identical
+  to a solo :meth:`~SimulatedAnnealingSampler.sample` call with the same
+  stream.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from .. import telemetry
 from ..qubo.ising import IsingModel
+from ..qubo.matrix import EXHAUSTIVE_SEARCH_LIMIT, preferred_representation, require_scipy
 
 
 @dataclass
@@ -60,6 +71,65 @@ class SampleResult:
         return self.spins.shape[0]
 
 
+def _build_coupling(
+    model: IsingModel, order: tuple[str, ...], representation: str
+) -> tuple[np.ndarray, object]:
+    """The ``(h, J_sym)`` pair in the requested representation.
+
+    ``J_sym`` is the symmetrized coupling matrix — dense ``ndarray`` or
+    CSR with canonical indices — whose row ``i`` holds every coupler of
+    spin ``i`` (the local-field operator of the sweep kernel).
+    """
+    if representation == "sparse":
+        h, J_ut = model.to_sparse(order)
+        J_sym = (J_ut + J_ut.T).tocsr()
+        J_sym.sort_indices()
+        return h, J_sym
+    h, J_ut = model.to_arrays(order)
+    return h, J_ut + J_ut.T
+
+
+def _metropolis_sweeps(
+    S: np.ndarray,
+    h: np.ndarray,
+    coupling,
+    classes: list[np.ndarray],
+    betas: np.ndarray,
+    draw: Callable[[int], np.ndarray],
+) -> None:
+    """Run the color-class Metropolis sweep loop in place on ``S``.
+
+    ``S`` is the ``(num_reads, n)`` float ±1 spin matrix, ``coupling``
+    the symmetrized matrix (dense ``ndarray`` or CSR), and ``draw(k)``
+    returns the uniform acceptance draws for class ``k`` — the one
+    RNG-consuming hook, so dense, sparse, and batched callers consume
+    identical streams.  Per class, the single-flip energy delta is
+    ``dE(flip i) = -2 s_i (h_i + sum_j J_ij s_j)``; flips with
+    ``dE <= 0`` are always taken, others with probability
+    ``exp(-beta dE)``.
+    """
+    dense = isinstance(coupling, np.ndarray)
+    if dense:
+        # Pre-slice the per-class column blocks once; each sweep is then
+        # one BLAS product per class against a contiguous block.
+        operators = [np.ascontiguousarray(coupling[:, cls]) for cls in classes]
+    else:
+        # CSR row blocks: fields come from J_sym[cls] @ S.T, whose cost
+        # scales with the couplers of the class, not n**2.
+        operators = [coupling[cls] for cls in classes]
+    for beta in betas:
+        for k, cls in enumerate(classes):
+            if dense:
+                fields = S @ operators[k] + h[cls]
+            else:
+                fields = (operators[k] @ S.T).T + h[cls]
+            delta = -2.0 * S[:, cls] * fields
+            accept = (delta <= 0.0) | (
+                draw(k) < np.exp(np.clip(-delta * beta, -700, 0))
+            )
+            S[:, cls] = np.where(accept, -S[:, cls], S[:, cls])
+
+
 class SimulatedAnnealingSampler:
     """Batch simulated annealing over an :class:`IsingModel`."""
 
@@ -75,12 +145,18 @@ class SimulatedAnnealingSampler:
         rng: np.random.Generator | None = None,
         variables: Sequence[str] | None = None,
         schedule: AnnealSchedule | None = None,
+        representation: str | None = None,
     ) -> SampleResult:
-        """Draw ``num_reads`` annealed samples.
+        """Draw ``num_reads`` annealed samples of ``model``.
 
-        ``variables`` fixes the spin-column order (default: the model's
-        sorted variables); ``schedule`` overrides the sampler default for
-        this call.
+        ``rng`` supplies every random draw, making runs reproducible
+        (default: fresh OS entropy); ``variables`` fixes the spin-column
+        order (default: the model's sorted variables); ``schedule``
+        overrides the sampler default for this call; ``representation``
+        forces the ``"dense"`` or ``"sparse"`` field kernel (default:
+        the shared density heuristic).  Both kernels consume the RNG
+        identically, so the choice affects floating-point rounding only —
+        see ``docs/numerics.md`` for the exact determinism contract.
         """
         rng = rng or np.random.default_rng()  # nck: noqa[REP201]
         order = tuple(variables) if variables is not None else model.variables
@@ -91,8 +167,8 @@ class SimulatedAnnealingSampler:
                 energies=np.full(num_reads, model.offset),
                 variables=order,
             )
-        h, J_ut = model.to_arrays(order)
-        J_sym = J_ut + J_ut.T
+        chosen = preferred_representation(n, len(model.J), representation)
+        h, J_sym = _build_coupling(model, order, chosen)
 
         # Partition spins into independent sets (greedy coloring of the
         # coupling graph): spins within a class share no coupler, so a
@@ -106,16 +182,14 @@ class SimulatedAnnealingSampler:
 
         betas = (schedule or self.schedule).betas()
         t0 = time.perf_counter()
-        for beta in betas:
-            for cls in color_classes:
-                # Local field: dE(flip i) = -2 s_i (h_i + sum_j J_ij s_j)
-                fields = S @ J_sym[:, cls] + h[cls]
-                delta = -2.0 * S[:, cls] * fields
-                accept = (delta <= 0.0) | (
-                    rng.random((num_reads, cls.size))
-                    < np.exp(np.clip(-delta * beta, -700, 0))
-                )
-                S[:, cls] = np.where(accept, -S[:, cls], S[:, cls])
+        _metropolis_sweeps(
+            S,
+            h,
+            J_sym,
+            color_classes,
+            betas,
+            lambda k: rng.random((num_reads, color_classes[k].size)),
+        )
         if telemetry.enabled():
             elapsed = time.perf_counter() - t0
             telemetry.count("anneal.sweeps", betas.size)
@@ -123,9 +197,150 @@ class SimulatedAnnealingSampler:
             telemetry.observe("anneal.sweep_seconds", elapsed)
             if elapsed > 0.0:
                 telemetry.observe("anneal.sweeps_per_second", betas.size / elapsed)
+            if chosen == "sparse":
+                telemetry.count("anneal.sparse.sweeps", betas.size)
+                telemetry.count("anneal.sparse.reads", num_reads)
 
-        energies = model.energies(S, order)
+        energies = model.energies(S, order, representation=chosen)
         return SampleResult(spins=S.astype(np.int8), energies=energies, variables=order)
+
+    def sample_batch(
+        self,
+        models: Sequence[IsingModel],
+        num_reads: int = 100,
+        rngs: Sequence[np.random.Generator] | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        variables: Sequence[Sequence[str]] | None = None,
+        schedule: AnnealSchedule | None = None,
+        representation: str | None = None,
+    ) -> list[SampleResult]:
+        """Anneal replicas of *many* models in one fused spin matrix.
+
+        All models share the schedule and ``num_reads``; their coupling
+        matrices fuse into one block-diagonal matrix and their color
+        classes merge rank-by-rank, so every sweep is one batched kernel
+        call for the whole program batch instead of a per-program Python
+        loop.  ``rngs`` supplies one independent generator per model
+        (default: children spawned from ``seed``); each program consumes
+        only its own stream, so program ``i``'s result equals a solo
+        ``sample(models[i], num_reads, rng=rngs[i], ...)`` call with the
+        same representation (bit-identical when the coefficient sums are
+        exactly representable — the equivalence matrix in
+        ``tests/test_numeric_core.py``).  ``variables`` optionally fixes
+        each model's column order; ``representation`` forces the kernel
+        for the whole fused matrix (default: density heuristic over the
+        fused problem).
+        """
+        models = list(models)
+        if rngs is not None:
+            rngs = list(rngs)
+            if len(rngs) != len(models):
+                raise ValueError("need exactly one rng per model")
+        else:
+            root = (
+                seed
+                if isinstance(seed, np.random.SeedSequence)
+                else np.random.SeedSequence(seed)
+            )
+            rngs = [np.random.default_rng(s) for s in root.spawn(max(1, len(models)))]
+        if variables is not None and len(variables) != len(models):
+            raise ValueError("need exactly one variable order per model")
+        if not models:
+            return []
+        orders = [
+            tuple(variables[i]) if variables is not None else m.variables
+            for i, m in enumerate(models)
+        ]
+        sizes = [len(o) for o in orders]
+        total = sum(sizes)
+        couplers = sum(len(m.J) for m in models)
+        chosen = preferred_representation(max(total, 1), couplers, representation)
+
+        # Degenerate fusion: zero-variable models never touch their rng
+        # (mirroring sample()); handle them outside the fused kernel.
+        live = [i for i, n in enumerate(sizes) if n > 0]
+        results: list[SampleResult | None] = [None] * len(models)
+        for i, n in enumerate(sizes):
+            if n == 0:
+                results[i] = SampleResult(
+                    spins=np.zeros((num_reads, 0), dtype=np.int8),
+                    energies=np.full(num_reads, models[i].offset),
+                    variables=orders[i],
+                )
+        if not live:
+            return [r for r in results if r is not None]
+
+        t0 = time.perf_counter()
+        offsets: dict[int, int] = {}
+        pos = 0
+        built = {}
+        for i in live:
+            offsets[i] = pos
+            pos += sizes[i]
+            built[i] = _build_coupling(models[i], orders[i], chosen)
+        fused_n = pos
+        h = np.concatenate([built[i][0] for i in live])
+        if chosen == "sparse":
+            sp = require_scipy()
+            J_fused = sp.block_diag([built[i][1] for i in live], format="csr")
+            J_fused.sort_indices()
+        else:
+            J_fused = np.zeros((fused_n, fused_n))
+            for i in live:
+                off = offsets[i]
+                J_fused[off : off + sizes[i], off : off + sizes[i]] = built[i][1]
+
+        # Per-program color classes merge rank-by-rank: fused class k is
+        # the union of every program's k-th class (index-shifted).  The
+        # blocks are decoupled, so the union is still an independent set,
+        # and per-program RNG consumption matches the solo kernel.
+        per_program = {i: _independent_classes(built[i][1]) for i in live}
+        depth = max(len(per_program[i]) for i in live)
+        fused_classes: list[np.ndarray] = []
+        segments: list[list[tuple[int, int]]] = []
+        for k in range(depth):
+            parts, segs = [], []
+            for i in live:
+                if k < len(per_program[i]):
+                    cls = per_program[i][k]
+                    parts.append(cls + offsets[i])
+                    segs.append((i, cls.size))
+            fused_classes.append(np.concatenate(parts))
+            segments.append(segs)
+
+        S = np.concatenate(
+            [
+                rngs[i]
+                .choice(np.array([-1, 1], dtype=np.int8), size=(num_reads, sizes[i]))
+                .astype(np.float64)
+                for i in live
+            ],
+            axis=1,
+        )
+
+        def draw(k: int) -> np.ndarray:
+            return np.concatenate(
+                [rngs[i].random((num_reads, m)) for i, m in segments[k]], axis=1
+            )
+
+        betas = (schedule or self.schedule).betas()
+        _metropolis_sweeps(S, h, J_fused, fused_classes, betas, draw)
+
+        for i in live:
+            block = S[:, offsets[i] : offsets[i] + sizes[i]]
+            energies = models[i].energies(block, orders[i], representation=chosen)
+            results[i] = SampleResult(
+                spins=block.astype(np.int8), energies=energies, variables=orders[i]
+            )
+        if telemetry.enabled():
+            elapsed = time.perf_counter() - t0
+            telemetry.count("anneal.batch.programs", len(live))
+            telemetry.count("anneal.batch.reads", num_reads * len(live))
+            telemetry.observe("anneal.batch.sweep_seconds", elapsed)
+            if chosen == "sparse":
+                telemetry.count("anneal.sparse.sweeps", betas.size)
+                telemetry.count("anneal.sparse.reads", num_reads * len(live))
+        return [r for r in results if r is not None]
 
 
 class ExactIsingSolver:
@@ -140,7 +355,7 @@ class ExactIsingSolver:
         n = len(order)
         if n == 0:
             return model.offset, {}
-        if n > 22:
+        if n > EXHAUSTIVE_SEARCH_LIMIT:
             raise ValueError(f"exhaustive Ising search infeasible for {n} spins")
         bits = enumerate_assignments(n)
         spins = (1 - 2 * bits).astype(np.float64)
@@ -149,21 +364,38 @@ class ExactIsingSolver:
         return float(e[i]), dict(zip(order, map(int, spins[i])))
 
 
-def _independent_classes(J_sym: np.ndarray) -> list[np.ndarray]:
+def _independent_classes(J_sym) -> list[np.ndarray]:
     """Greedy coloring of the coupling graph into independent index sets.
 
     Spins in one class have no coupler between them, so simultaneous
     Metropolis updates within a class are exact.  Greedy over descending
     degree keeps the class count near the coupling graph's chromatic
     number (≤ max degree + 1).
+
+    ``J_sym`` may be a dense symmetric matrix or a CSR one; couplers
+    with magnitude ≤ 1e-15 are ignored either way, so both
+    representations produce *identical* classes (the RNG-consumption
+    guarantee of the equivalence matrix rests on this).
     """
-    n = J_sym.shape[0]
-    adj = np.abs(J_sym) > 1e-15
-    degrees = adj.sum(axis=1)
+    if isinstance(J_sym, np.ndarray):
+        n = J_sym.shape[0]
+        adj = np.abs(J_sym) > 1e-15
+        degrees = adj.sum(axis=1)
+        neighbors = lambda i: np.flatnonzero(adj[i])  # noqa: E731
+    else:
+        # CSR: drop sub-threshold entries, then read adjacency straight
+        # off the index structure — no dense n×n materialization.
+        Jf = J_sym.copy()
+        Jf.data = np.where(np.abs(Jf.data) > 1e-15, Jf.data, 0.0)
+        Jf.eliminate_zeros()
+        n = Jf.shape[0]
+        indptr, indices = Jf.indptr, Jf.indices
+        degrees = np.diff(indptr)
+        neighbors = lambda i: indices[indptr[i] : indptr[i + 1]]  # noqa: E731
     order = np.argsort(-degrees)
     color = np.full(n, -1, dtype=np.int64)
     for i in order:
-        used = set(color[adj[i]]) - {-1}
+        used = set(color[neighbors(i)]) - {-1}
         c = 0
         while c in used:
             c += 1

@@ -64,13 +64,30 @@ class IsingModel:
             e += j * spins[u] * spins[v]
         return e
 
-    def energies(self, spins: np.ndarray, order: Sequence[str] | None = None) -> np.ndarray:
-        """Vectorized energies over a ``(num_samples, num_spins)`` ±1 array."""
+    def energies(
+        self,
+        spins: np.ndarray,
+        order: Sequence[str] | None = None,
+        representation: str | None = None,
+    ) -> np.ndarray:
+        """Vectorized energies over a ``(num_samples, num_spins)`` ±1 array.
+
+        ``representation`` forces the ``"dense"`` einsum or the
+        ``"sparse"`` CSR kernel; ``None`` applies the shared density
+        heuristic (:func:`repro.qubo.matrix.preferred_representation`).
+        """
+        from .matrix import preferred_representation
+
         variables = tuple(order) if order is not None else self.variables
-        h_vec, J_mat = self.to_arrays(variables)
+        chosen = preferred_representation(len(variables), len(self.J), representation)
         S = np.asarray(spins, dtype=float)
         if S.ndim == 1:
             S = S[None, :]
+        if chosen == "sparse":
+            h_vec, J_csr = self.to_sparse(variables)
+            St = np.ascontiguousarray(S.T)
+            return S @ h_vec + np.einsum("ns,ns->s", J_csr @ St, St) + self.offset
+        h_vec, J_mat = self.to_arrays(variables)
         return S @ h_vec + np.einsum("si,ij,sj->s", S, J_mat, S) + self.offset
 
     def to_arrays(self, order: Sequence[str] | None = None) -> tuple[np.ndarray, np.ndarray]:
@@ -88,6 +105,58 @@ class IsingModel:
                 i, k = k, i
             J_mat[i, k] += j
         return h_vec, J_mat
+
+    def to_sparse(self, order: Sequence[str] | None = None):
+        """Sparse ``(h, J)`` with J a strictly upper-triangular CSR matrix.
+
+        The CSR counterpart of :meth:`to_arrays` (same layout, canonical
+        sorted indices); requires scipy — see
+        :func:`repro.qubo.matrix.require_scipy`.
+        """
+        from .matrix import require_scipy
+
+        sp = require_scipy()
+        variables = tuple(order) if order is not None else self.variables
+        index = {v: i for i, v in enumerate(variables)}
+        n = len(variables)
+        h_vec = np.zeros(n)
+        for v, hv in self.h.items():
+            h_vec[index[v]] += hv
+        rows, cols, vals = [], [], []
+        for (u, v), j in self.J.items():
+            i, k = index[u], index[v]
+            if i > k:
+                i, k = k, i
+            rows.append(i)
+            cols.append(k)
+            vals.append(j)
+        J_csr = sp.coo_array(
+            (np.asarray(vals, dtype=float), (rows, cols)), shape=(n, n)
+        ).tocsr()
+        J_csr.sum_duplicates()
+        return h_vec, J_csr
+
+    @classmethod
+    def from_sparse(
+        cls, h: np.ndarray, J, variables: Sequence[str], offset: float = 0.0
+    ) -> "IsingModel":
+        """Rebuild a dictionary-form model from ``(h, J)`` arrays.
+
+        Inverse of :meth:`to_sparse`: ``h`` is a length-``n`` field
+        vector, ``J`` any scipy sparse coupling matrix (both triangles of
+        an off-diagonal pair accumulate; diagonal entries fold into the
+        offset per ``s*s == 1``).
+        """
+        variables = tuple(variables)
+        coo = J.tocoo()
+        J_dict: dict[tuple[str, str], float] = {}
+        for i, k, v in zip(coo.row, coo.col, coo.data):
+            if v:
+                J_dict[(variables[i], variables[k])] = (
+                    J_dict.get((variables[i], variables[k]), 0.0) + float(v)
+                )
+        h_dict = {variables[i]: float(hv) for i, hv in enumerate(np.asarray(h)) if hv}
+        return cls(h=h_dict, J=J_dict, offset=offset)
 
     def max_abs_coefficient(self) -> float:
         vals = [abs(a) for a in self.h.values()] + [abs(b) for b in self.J.values()]

@@ -171,15 +171,29 @@ class QUBO:
             e += b * int(assignment[u]) * int(assignment[v])
         return e
 
-    def energies(self, samples: np.ndarray, order: Iterable[str] | None = None) -> np.ndarray:
+    def energies(
+        self,
+        samples: np.ndarray,
+        order: Iterable[str] | None = None,
+        representation: str | None = None,
+    ) -> np.ndarray:
         """Vectorized objective over a batch of assignments.
 
         ``samples`` is a ``(num_samples, num_variables)`` 0/1 array whose
         columns follow ``order`` (default: :attr:`variables`).
+        ``representation`` forces the ``"dense"`` einsum or the
+        ``"sparse"`` CSR kernel; ``None`` applies the shared density
+        heuristic (:func:`repro.qubo.matrix.preferred_representation`).
         """
         variables = tuple(order) if order is not None else self.variables
-        from .matrix import to_dense
+        from .matrix import preferred_representation, sparse_energies, to_dense, to_sparse
 
+        chosen = preferred_representation(
+            len(variables), len(self.quadratic), representation
+        )
+        if chosen == "sparse":
+            Q, offset = to_sparse(self, variables)
+            return sparse_energies(Q, offset, samples)
         Q, offset = to_dense(self, variables)
         X = np.asarray(samples, dtype=float)
         if X.ndim == 1:
@@ -192,14 +206,17 @@ class QUBO:
 
         Exponential in the variable count; intended for small (≤ ~20
         variable) QUBOs such as per-constraint truth tables and tests.
+        Capped at :data:`repro.qubo.matrix.EXHAUSTIVE_SEARCH_LIMIT`
+        variables, the repo-wide enumeration limit.
         """
         variables = self.variables
         n = len(variables)
         if n == 0:
             return self.offset, [{}]
-        if n > 24:
+        from .matrix import EXHAUSTIVE_SEARCH_LIMIT, enumerate_assignments
+
+        if n > EXHAUSTIVE_SEARCH_LIMIT:
             raise ValueError(f"exhaustive ground-state search infeasible for {n} variables")
-        from .matrix import enumerate_assignments
 
         X = enumerate_assignments(n)
         e = self.energies(X, variables)

@@ -409,11 +409,15 @@ def solve(
 class BatchRunner:
     """Solve many programs through one shared thread pool.
 
-    Programs run one after another (each still fans out across the
-    portfolio's backends); the pool, backends, and policy are built once
-    and reused, which is what amortizes device-profile construction when
-    solving hundreds of instances.  Per-program seeds are spawned from
-    the runner's root seed, so a seeded batch is reproducible end to end.
+    Programs run through the portfolio with the pool, backends, and
+    policy built once and reused, which is what amortizes device-profile
+    construction when solving hundreds of instances.  When the portfolio
+    is a single backend exposing ``sample_batch`` (the fused multi-program
+    entry point — see :meth:`AnnealingDevice.sample_batch`), whole batches
+    run through **one fused call** instead of a per-program Python loop;
+    programs whose fused samples are all hard-infeasible fall back to the
+    full per-program portfolio.  Per-program seeds are spawned from the
+    runner's root seed, so a seeded batch is reproducible end to end.
 
     Use as a context manager (or call :meth:`close`) to release the pool.
     """
@@ -427,6 +431,7 @@ class BatchRunner:
         retries: int | None = None,
         seed: int | None = None,
         max_workers: int | None = None,
+        fused: bool | None = None,
     ) -> None:
         """Configure the shared portfolio.
 
@@ -434,7 +439,11 @@ class BatchRunner:
         ``retries`` have the same meaning as on :func:`solve` and apply
         to every program; ``seed`` is the batch's root seed; and
         ``max_workers`` sizes the shared pool (default: twice the
-        backend count).
+        backend count).  ``fused`` controls the fused fast path: ``None``
+        (default) uses it automatically when the portfolio is a single
+        backend exposing ``sample_batch``, ``True`` requires it (raising
+        when the portfolio cannot fuse), ``False`` always runs the
+        per-program portfolio loop.
         """
         if policy is not None and (timeout is not None or retries is not None):
             raise ValueError(
@@ -444,8 +453,20 @@ class BatchRunner:
         self.strategy = get_strategy(strategy)
         self.policy = policy or PortfolioPolicy.with_timeout(timeout, retries)
         self.seed = seed
+        self.fused = fused
+        if fused is True and not self._fusable():
+            raise ValueError(
+                "fused=True needs a single backend exposing sample_batch, "
+                f"got {[b.name for b in self.backends]}"
+            )
         self._max_workers = max_workers or max(2, 2 * len(self.backends))
         self._pool: cf.ThreadPoolExecutor | None = None
+
+    def _fusable(self) -> bool:
+        """Whether the portfolio can take the fused fast path."""
+        return len(self.backends) == 1 and callable(
+            getattr(self.backends[0], "sample_batch", None)
+        )
 
     def _ensure_pool(self) -> cf.ThreadPoolExecutor:
         if self._pool is None:
@@ -460,8 +481,11 @@ class BatchRunner:
         order."""
         items: Sequence = list(problems)
         children = np.random.SeedSequence(self.seed).spawn(max(1, len(items)))
-        results = []
-        with telemetry.span("runtime.batch", programs=len(items)):
+        fuse = self._fusable() if self.fused is None else self.fused
+        with telemetry.span("runtime.batch", programs=len(items), fused=fuse):
+            if fuse and items:
+                return self._run_fused(items, children)
+            results = []
             for item, child in zip(items, children):
                 results.append(
                     solve(
@@ -473,6 +497,67 @@ class BatchRunner:
                         pool=self._ensure_pool(),
                     )
                 )
+            return results
+
+    def _run_fused(self, items: Sequence, children) -> list[PortfolioResult]:
+        """The fused fast path behind :meth:`run`.
+
+        One ``sample_batch`` call covers every program; each program's
+        best hard-feasible sample becomes its :class:`PortfolioResult`
+        (provenance marked ``fused``).  Programs whose fused samples are
+        all infeasible re-run through the ordinary per-program portfolio
+        (counted under ``runtime.batch.fallbacks``), so the fast path
+        never loses answers, only wall-clock.
+        """
+        backend = self.backends[0]
+        envs = [
+            item.build_env() if hasattr(item, "build_env") else item for item in items
+        ]
+        rngs = [np.random.default_rng(c) for c in children]
+        t0 = time.perf_counter()
+        sample_sets = backend.sample_batch(envs, rngs=rngs)
+        wall = time.perf_counter() - t0
+        telemetry.count("runtime.batch.fused_programs", len(items))
+        results: list[PortfolioResult] = []
+        fallbacks = 0
+        for item, ss, child in zip(items, sample_sets, children):
+            sol = best_valid(ss)
+            if sol is None:
+                fallbacks += 1
+                results.append(
+                    solve(
+                        item,
+                        backends=self.backends,
+                        strategy=self.strategy,
+                        policy=self.policy,
+                        seed=child,
+                        pool=self._ensure_pool(),
+                    )
+                )
+                continue
+            record = AttemptRecord(
+                backend=backend.name,
+                attempt=1,
+                status="ok",
+                wall_s=wall,
+                soft_satisfied=sol.soft_satisfied,
+                energy=sol.energy,
+                metadata={"fused": True},
+            )
+            result = PortfolioResult(
+                solution=sol,
+                winner=backend.name,
+                strategy=self.strategy.name,
+                wall_s=wall,
+                seed=self.seed,
+                attempts=[record],
+                candidates=[sol],
+                degraded=False,
+            )
+            sol.metadata["portfolio"] = result.provenance()
+            results.append(result)
+        if fallbacks:
+            telemetry.count("runtime.batch.fallbacks", fallbacks)
         return results
 
     def close(self) -> None:

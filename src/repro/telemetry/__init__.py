@@ -33,7 +33,7 @@ emits, and the exporter formats are documented in
 statically by ``python -m repro lint --self`` (rule ``REP301``).
 """
 
-from .naming import KNOWN_SPAN_PREFIXES, is_canonical_name
+from .naming import KNOWN_NAME_FAMILIES, KNOWN_SPAN_PREFIXES, is_canonical_name
 from .export import (
     pipeline_headline,
     portfolio_section,
@@ -63,6 +63,7 @@ from .recorder import (
 )
 
 __all__ = [
+    "KNOWN_NAME_FAMILIES",
     "KNOWN_SPAN_PREFIXES",
     "is_canonical_name",
     "CounterStat",

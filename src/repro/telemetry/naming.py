@@ -30,6 +30,20 @@ KNOWN_SPAN_PREFIXES: frozenset[str] = frozenset(
     }
 )
 
+#: Declared two-level families under the ``anneal`` prefix for the
+#: sparse/batched numeric core (see ``docs/numerics.md``): kernel-path
+#: counters (``anneal.sparse.*``) and fused multi-program job metrics
+#: (``anneal.batch.*``).  REP301 validates prefixes; this registry is
+#: the documented home for the families so dashboards and
+#: ``docs/observability.md`` stay in sync.
+KNOWN_NAME_FAMILIES: frozenset[str] = frozenset(
+    {
+        "anneal.sparse",
+        "anneal.batch",
+        "runtime.batch",
+    }
+)
+
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 
 

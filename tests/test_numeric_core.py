@@ -1,0 +1,416 @@
+"""The sparse + batched numeric-core contract (see docs/numerics.md).
+
+Four groups:
+
+* layout round-trips — ``to_sparse``/``from_sparse`` against the dense
+  layout, for both QUBO and Ising forms;
+* energy-kernel agreement — Hypothesis property tests that the dense
+  einsum, the CSR kernel, and the batched kernel agree on random QUBOs;
+* the equivalence matrix — dense / sparse / fused-batch annealing with
+  identical seeds produce bit-identical ``SampleResult``s (dyadic
+  coefficients, so field sums are exact);
+* the shared caps and heuristics — ``EXHAUSTIVE_SEARCH_LIMIT`` is the
+  one enumeration cap, ``preferred_representation`` the one density
+  heuristic, and the new telemetry families are canonical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing.sampler import (
+    AnnealSchedule,
+    ExactIsingSolver,
+    SimulatedAnnealingSampler,
+    _independent_classes,
+)
+from repro.classical import BATCH_ENUMERATION_BITS, EXHAUSTIVE_LIMIT, ExactQUBOSolver
+from repro.qubo import (
+    EXHAUSTIVE_SEARCH_LIMIT,
+    HAVE_SCIPY,
+    QUBO,
+    batched_energies,
+    coupling_density,
+    enumerate_assignments,
+    from_dense,
+    from_sparse,
+    preferred_representation,
+    sparse_energies,
+    to_dense,
+    to_sparse,
+)
+from repro.qubo.ising import IsingModel
+
+needs_scipy = pytest.mark.skipif(not HAVE_SCIPY, reason="sparse core needs scipy")
+
+ATOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Random-model helpers
+# ----------------------------------------------------------------------
+def random_qubo(rng, n, density=0.3, dyadic=False) -> QUBO:
+    coeff = (
+        (lambda: float(rng.integers(-8, 9)) * 0.25)
+        if dyadic
+        else (lambda: float(rng.normal()))
+    )
+    q = QUBO(offset=coeff())
+    for i in range(n):
+        q.add_linear(f"v{i:03d}", coeff())
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                q.add_quadratic(f"v{i:03d}", f"v{j:03d}", coeff())
+    return q
+
+
+def random_ising(rng, n, density=0.1) -> IsingModel:
+    """Dyadic coefficients: sums are exact, so kernels agree bitwise."""
+    h = {f"s{i:03d}": float(rng.integers(-8, 9)) * 0.25 for i in range(n)}
+    J = {
+        (f"s{i:03d}", f"s{j:03d}"): float(rng.integers(-8, 9)) * 0.25
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < density
+    }
+    return IsingModel(h=h, J=J)
+
+
+# ----------------------------------------------------------------------
+# Layout round-trips
+# ----------------------------------------------------------------------
+@needs_scipy
+class TestSparseLayout:
+    def test_to_sparse_matches_to_dense(self):
+        q = random_qubo(np.random.default_rng(0), 12)
+        Q_dense, off_d = to_dense(q)
+        Q_csr, off_s = to_sparse(q)
+        assert off_s == off_d
+        assert np.allclose(Q_csr.toarray(), Q_dense)
+        # Strictly upper-triangular + diagonal, canonical indices.
+        assert np.allclose(Q_csr.toarray(), np.triu(Q_csr.toarray()))
+
+    def test_from_sparse_roundtrip(self):
+        q = random_qubo(np.random.default_rng(1), 10)
+        Q, off = to_sparse(q)
+        assert from_sparse(Q, q.variables, off) == q
+
+    def test_from_sparse_accumulates_both_triangles(self):
+        sp = pytest.importorskip("scipy.sparse")
+        M = sp.coo_array(
+            (np.array([2.0, 1.0, 0.5]), ([0, 1, 0], [1, 0, 0])), shape=(2, 2)
+        )
+        q = from_sparse(M, ("a", "b"))
+        assert q.quadratic == {("a", "b"): 3.0}
+        assert q.linear == {"a": 0.5}
+
+    def test_from_sparse_validates_shape(self):
+        sp = pytest.importorskip("scipy.sparse")
+        with pytest.raises(ValueError):
+            from_sparse(sp.csr_array(np.zeros((2, 3))), ("a", "b"))
+        with pytest.raises(ValueError):
+            from_sparse(sp.csr_array(np.zeros((2, 2))), ("a", "b", "c"))
+
+    def test_ising_to_sparse_roundtrip(self):
+        m = random_ising(np.random.default_rng(2), 10, density=0.3)
+        h_d, J_d = m.to_arrays()
+        h_s, J_s = m.to_sparse()
+        assert np.allclose(h_s, h_d)
+        assert np.allclose(J_s.toarray(), J_d)
+        back = IsingModel.from_sparse(h_s, J_s, m.variables, m.offset)
+        assert back.h == {v: hv for v, hv in m.h.items() if hv}
+        assert back.J == {k: jv for k, jv in m.J.items() if jv}
+
+    def test_from_dense_vectorized_matches_roundtrip(self):
+        q = random_qubo(np.random.default_rng(3), 15)
+        Q, off = to_dense(q)
+        assert from_dense(Q, q.variables, off) == q
+        # Symmetric input accumulates both triangles.
+        sym = Q + Q.T - np.diag(np.diag(Q))
+        doubled = from_dense(sym, q.variables, off)
+        for k, b in q.quadratic.items():
+            assert doubled.quadratic[k] == pytest.approx(2 * b)
+
+
+# ----------------------------------------------------------------------
+# Energy-kernel agreement (Hypothesis properties)
+# ----------------------------------------------------------------------
+@st.composite
+def qubo_and_samples(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(2, 24))
+    density = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    q = random_qubo(rng, n, density)
+    X = rng.integers(0, 2, size=(16, n)).astype(float)
+    return q, X
+
+
+@needs_scipy
+@settings(max_examples=50, deadline=None)
+@given(qubo_and_samples())
+def test_sparse_and_dense_energies_agree(case):
+    q, X = case
+    order = q.variables
+    dense = q.energies(X, order, representation="dense")
+    sparse = q.energies(X, order, representation="sparse")
+    assert np.allclose(dense, sparse, atol=ATOL)
+    Q, off = to_sparse(q, order)
+    assert np.allclose(sparse_energies(Q, off, X), dense, atol=ATOL)
+
+
+@needs_scipy
+@settings(max_examples=25, deadline=None)
+@given(qubo_and_samples())
+def test_ising_sparse_and_dense_energies_agree(case):
+    from repro.qubo.ising import qubo_to_ising
+
+    q, X = case
+    m = qubo_to_ising(q)
+    order = m.variables
+    S = (1 - 2 * X[:, : len(order)]).astype(float)
+    dense = m.energies(S, order, representation="dense")
+    sparse = m.energies(S, order, representation="sparse")
+    assert np.allclose(dense, sparse, atol=ATOL)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 5), st.integers(2, 8))
+def test_batched_energies_matches_per_program_loop(seed, num_programs, n):
+    rng = np.random.default_rng(seed)
+    qubos = [random_qubo(rng, n, density=0.5) for _ in range(num_programs)]
+    names = [f"v{i:03d}" for i in range(n)]
+    X = rng.integers(0, 2, size=(10, n)).astype(float)
+    stacked = np.stack([to_dense(q, names)[0] for q in qubos])
+    offsets = np.array([q.offset for q in qubos])
+    E = batched_energies(stacked, offsets, X)
+    assert E.shape == (num_programs, 10)
+    for p, q in enumerate(qubos):
+        assert np.allclose(E[p], q.energies(X, names), atol=ATOL)
+
+
+# ----------------------------------------------------------------------
+# The equivalence matrix: dense / sparse / fused batch, identical seeds
+# ----------------------------------------------------------------------
+@needs_scipy
+class TestEquivalenceMatrix:
+    SCHEDULE = AnnealSchedule(num_sweeps=32)
+
+    def test_color_classes_identical_across_representations(self):
+        m = random_ising(np.random.default_rng(5), 60, density=0.08)
+        _, J_ut = m.to_arrays()
+        _, J_csr = m.to_sparse()
+        dense_classes = _independent_classes(J_ut + J_ut.T)
+        sparse_classes = _independent_classes((J_csr + J_csr.T).tocsr())
+        assert len(dense_classes) == len(sparse_classes)
+        for a, b in zip(dense_classes, sparse_classes):
+            assert np.array_equal(a, b)
+
+    def test_dense_and_sparse_samples_bit_identical(self):
+        m = random_ising(np.random.default_rng(6), 90, density=0.05)
+        sampler = SimulatedAnnealingSampler(self.SCHEDULE)
+        out = {
+            rep: sampler.sample(
+                m, num_reads=16, rng=np.random.default_rng(77), representation=rep
+            )
+            for rep in ("dense", "sparse")
+        }
+        assert np.array_equal(out["dense"].spins, out["sparse"].spins)
+        assert np.array_equal(out["dense"].energies, out["sparse"].energies)
+        assert out["dense"].variables == out["sparse"].variables
+
+    @pytest.mark.parametrize("representation", ["dense", "sparse"])
+    def test_fused_batch_matches_solo_per_program(self, representation):
+        rng = np.random.default_rng(7)
+        models = [random_ising(rng, n, density=0.1) for n in (40, 25, 33)]
+        sampler = SimulatedAnnealingSampler(self.SCHEDULE)
+        fused = sampler.sample_batch(
+            models, num_reads=12, seed=123, representation=representation
+        )
+        children = np.random.SeedSequence(123).spawn(len(models))
+        for m, child, f in zip(models, children, fused):
+            solo = sampler.sample(
+                m,
+                num_reads=12,
+                rng=np.random.default_rng(child),
+                representation=representation,
+            )
+            assert np.array_equal(f.spins, solo.spins)
+            assert np.array_equal(f.energies, solo.energies)
+
+    def test_fused_batch_dense_equals_fused_batch_sparse(self):
+        rng = np.random.default_rng(8)
+        models = [random_ising(rng, n, density=0.1) for n in (30, 45)]
+        sampler = SimulatedAnnealingSampler(self.SCHEDULE)
+        dense = sampler.sample_batch(models, num_reads=10, seed=9, representation="dense")
+        sparse = sampler.sample_batch(models, num_reads=10, seed=9, representation="sparse")
+        for a, b in zip(dense, sparse):
+            assert np.array_equal(a.spins, b.spins)
+            assert np.array_equal(a.energies, b.energies)
+
+    def test_batch_handles_empty_and_degenerate_models(self):
+        sampler = SimulatedAnnealingSampler(self.SCHEDULE)
+        assert sampler.sample_batch([], num_reads=4) == []
+        out = sampler.sample_batch(
+            [IsingModel(offset=2.5), random_ising(np.random.default_rng(9), 5)],
+            num_reads=4,
+            seed=0,
+        )
+        assert out[0].spins.shape == (4, 0)
+        assert np.allclose(out[0].energies, 2.5)
+        assert out[1].spins.shape == (4, 5)
+
+    def test_batch_validates_rngs_and_variables(self):
+        sampler = SimulatedAnnealingSampler(self.SCHEDULE)
+        models = [random_ising(np.random.default_rng(10), 5)]
+        with pytest.raises(ValueError, match="one rng per model"):
+            sampler.sample_batch(models, rngs=[])
+        with pytest.raises(ValueError, match="one variable order per model"):
+            sampler.sample_batch(models, seed=0, variables=[])
+
+
+# ----------------------------------------------------------------------
+# Density heuristic
+# ----------------------------------------------------------------------
+class TestDensityHeuristic:
+    def test_forced_representation_validated(self):
+        with pytest.raises(ValueError, match="unknown representation"):
+            preferred_representation(10, 5, "csr")
+        assert preferred_representation(10, 5, "dense") == "dense"
+
+    def test_small_or_dense_problems_stay_dense(self):
+        assert preferred_representation(16, 10) == "dense"
+        n = 1000
+        assert preferred_representation(n, n * (n - 1) // 2) == "dense"
+
+    @needs_scipy
+    def test_large_sparse_problems_go_sparse(self):
+        assert preferred_representation(1000, 3000) == "sparse"
+        assert preferred_representation(64, 0) == "sparse"
+
+    def test_coupling_density(self):
+        assert coupling_density(1, 0) == 0.0
+        assert coupling_density(4, 6) == 1.0
+        assert coupling_density(1000, 499500) == 1.0
+
+
+# ----------------------------------------------------------------------
+# The one enumeration cap
+# ----------------------------------------------------------------------
+class TestExhaustiveCap:
+    def test_classical_alias_is_the_shared_constant(self):
+        assert EXHAUSTIVE_LIMIT is EXHAUSTIVE_SEARCH_LIMIT
+        assert BATCH_ENUMERATION_BITS <= EXHAUSTIVE_SEARCH_LIMIT
+
+    def test_enumerate_assignments_refuses_above_cap(self):
+        with pytest.raises(ValueError, match="EXHAUSTIVE_SEARCH_LIMIT"):
+            enumerate_assignments(EXHAUSTIVE_SEARCH_LIMIT + 1)
+
+    def test_ground_states_refuses_above_cap(self):
+        q = QUBO({f"x{i:02d}": 1.0 for i in range(EXHAUSTIVE_SEARCH_LIMIT + 1)})
+        with pytest.raises(ValueError, match="infeasible"):
+            q.ground_states()
+
+    def test_exact_ising_solver_refuses_above_cap(self):
+        m = IsingModel(h={f"s{i:02d}": 1.0 for i in range(EXHAUSTIVE_SEARCH_LIMIT + 1)})
+        with pytest.raises(ValueError, match="infeasible"):
+            ExactIsingSolver().solve(m)
+
+
+# ----------------------------------------------------------------------
+# Batched classical solving
+# ----------------------------------------------------------------------
+class TestSolveBatch:
+    def test_matches_solo_solve(self):
+        rng = np.random.default_rng(11)
+        qubos = [random_qubo(rng, int(rng.integers(1, 9)), 0.5) for _ in range(6)]
+        qubos.append(QUBO(offset=1.5))  # zero-variable program
+        solver = ExactQUBOSolver()
+        batch = solver.solve_batch(qubos)
+        assert len(batch) == len(qubos)
+        for q, (e, assignment) in zip(qubos, batch):
+            e_solo, a_solo = solver.solve(q)
+            assert e == pytest.approx(e_solo, abs=ATOL)
+            assert q.energy(assignment) == pytest.approx(e, abs=ATOL) if assignment else True
+
+    def test_groups_share_one_enumeration(self):
+        rng = np.random.default_rng(12)
+        qubos = [random_qubo(rng, 6, 0.5) for _ in range(4)]
+        solver = ExactQUBOSolver()
+        for q, (e, a) in zip(qubos, solver.solve_batch(qubos)):
+            assert q.energy(a) == pytest.approx(e, abs=ATOL)
+
+
+# ----------------------------------------------------------------------
+# Fused runtime batch path
+# ----------------------------------------------------------------------
+class TestFusedBatchRunner:
+    def _envs(self, count=2):
+        from repro.core.env import Env
+
+        envs = []
+        for k in range(count):
+            env = Env()
+            ports = [env.register_port(f"p{i}") for i in range(3)]
+            env.nck(ports, {1 + (k % 2)})
+            envs.append(env)
+        return envs
+
+    def _backend(self, **kwargs):
+        from repro.annealing.device import AnnealingDevice, AnnealingDeviceProfile
+        from repro.runtime.backends import AnnealingBackend
+
+        return AnnealingBackend(
+            device=AnnealingDevice(AnnealingDeviceProfile.small_test()),
+            num_reads=16,
+            **kwargs,
+        )
+
+    def test_fused_path_produces_marked_provenance(self):
+        from repro.runtime.executor import BatchRunner
+
+        with BatchRunner(backends=[self._backend()], seed=3) as runner:
+            results = runner.run(self._envs())
+        assert len(results) == 2
+        for r in results:
+            assert r.solution.all_hard_satisfied
+            assert r.attempts[0].metadata.get("fused") is True
+            assert r.solution.metadata["portfolio"]["winner"] == r.winner
+
+    def test_fused_flag_validation_and_opt_out(self):
+        from repro.runtime.executor import BatchRunner
+
+        with pytest.raises(ValueError, match="fused=True"):
+            BatchRunner(backends=["classical"], fused=True)
+        with BatchRunner(backends=[self._backend()], seed=3, fused=False) as runner:
+            results = runner.run(self._envs())
+        for r in results:
+            assert not r.attempts[0].metadata.get("fused")
+
+    def test_multi_backend_portfolio_never_fuses(self):
+        from repro.runtime.executor import BatchRunner
+
+        runner = BatchRunner(backends=["classical", "annealing"])
+        assert not runner._fusable()
+
+    def test_device_sample_batch_shapes(self):
+        backend = self._backend()
+        envs = self._envs(3)
+        sets = backend.sample_batch(envs, seed=5)
+        assert len(sets) == 3
+        for ss in sets:
+            assert len(ss.solutions) == 16
+            assert "broken_chains" in ss.metadata
+
+
+# ----------------------------------------------------------------------
+# Telemetry naming
+# ----------------------------------------------------------------------
+def test_new_telemetry_families_are_canonical():
+    from repro.telemetry import KNOWN_NAME_FAMILIES, is_canonical_name
+
+    assert {"anneal.sparse", "anneal.batch", "runtime.batch"} <= KNOWN_NAME_FAMILIES
+    for family in KNOWN_NAME_FAMILIES:
+        assert is_canonical_name(f"{family}.reads")
