@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-slow docs-check lint lint-docstrings certify bench bench-smoke bench-compile trace-table1 all-checks
+.PHONY: test test-slow docs-check lint lint-docstrings certify bench bench-smoke bench-compile serve-smoke trace-table1 all-checks
 
 CERTIFY_PROBLEMS := vertex-cover max-cut clique-cover map-coloring exact-cover set-cover 3sat
 
@@ -33,8 +33,8 @@ certify:         ## prove hard dominance + soft fidelity for every problem famil
 bench:           ## regenerate every table & figure
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-bench-smoke:     ## tiny-budget benches: portfolio runtime + compiler pipeline + certification + sparse-kernel gate
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_runtime.py benchmarks/bench_compile_pipeline.py benchmarks/bench_certify.py "benchmarks/bench_kernels.py::test_sparse_kernel_gate" --benchmark-only -s
+bench-smoke:     ## tiny-budget benches: portfolio runtime + compiler pipeline + certification + sparse-kernel gate + solve service
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_runtime.py benchmarks/bench_compile_pipeline.py benchmarks/bench_certify.py "benchmarks/bench_kernels.py::test_sparse_kernel_gate" benchmarks/bench_service.py --benchmark-only -s
 
 bench-compile:   ## compiler-pipeline bench (cold vs warm disk cache, serial vs jobs)
 	$(PYTHON) -m pytest benchmarks/bench_compile_pipeline.py --benchmark-only -s
@@ -42,4 +42,7 @@ bench-compile:   ## compiler-pipeline bench (cold vs warm disk cache, serial vs 
 trace-table1:    ## smoke-run the telemetry pipeline end to end
 	$(PYTHON) -m repro trace table1
 
-all-checks: test docs-check lint certify
+serve-smoke:     ## smoke-run the multi-tenant solve service demo workload
+	$(PYTHON) -m repro serve --requests 9 --tenants 3 --workers 2 --n 6
+
+all-checks: test docs-check lint certify serve-smoke

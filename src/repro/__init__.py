@@ -11,7 +11,10 @@ Subpackages: :mod:`repro.core` (DSL), :mod:`repro.compile` (QUBO
 compiler), :mod:`repro.qubo` (IR), :mod:`repro.classical` /
 :mod:`repro.annealing` / :mod:`repro.circuit` (backends),
 :mod:`repro.problems` (Table I workloads), :mod:`repro.experiments`
-(paper tables/figures), :mod:`repro.io` (serialization).
+(paper tables/figures), :mod:`repro.io` (serialization),
+:mod:`repro.runtime` (portfolio engine), :mod:`repro.service`
+(multi-tenant solve-as-a-service), :mod:`repro.telemetry` /
+:mod:`repro.analysis` (observability and certification).
 """
 
 from .core import Env, SampleSet, Solution, SolutionQuality, Var, nck

@@ -21,6 +21,9 @@ Usage::
     python -m repro certify vertex-cover --n 24 \\
         [--json] [--min-severity LEVEL] [--hard-scale X] [--out FILE] \\
         [--cache-dir DIR] [--no-cache] [--no-fallback]
+    python -m repro serve [--requests N] [--tenants T] [--workers W] \\
+        [--mode thread|process] [--problem FAMILY] [--n SIZE] \\
+        [--backends classical] [--rate R] [--burst B]
 
 Artifact subcommands print the measured rows/series of one paper
 artifact (the same output the benchmark harness produces, without
@@ -41,6 +44,11 @@ an instance and runs the compositional certification engine
 (:mod:`repro.analysis.certify`) over the artifact — proving the hard
 dominance and soft fidelity claims without enumeration, serializing the
 certificate with ``--out``, and exiting by the same 2/1/0 convention.
+``serve`` runs a self-contained demo workload through the multi-tenant
+solve service (:mod:`repro.service`): several tenants issue repeated
+requests under token-bucket quotas, so the output shows admission
+decisions, fingerprint cache hits vs cold compiles, and the final
+service stats after a graceful drain (see ``docs/service.md``).
 
 With ``trace`` (or ``--telemetry``, or ``REPRO_TELEMETRY=1`` in the
 environment) the run is instrumented: every pipeline stage records
@@ -412,6 +420,105 @@ def _certify(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# The serve subcommand — demo workload through the solve service
+# ---------------------------------------------------------------------------
+
+
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``serve``-specific arguments to its subparser."""
+    parser.add_argument(
+        "--requests", type=int, default=24, help="total requests across all tenants"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=3, help="number of tenants issuing requests"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="concurrent scheduler slots"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="where job bodies execute (see docs/service.md)",
+    )
+    parser.add_argument(
+        "--problem",
+        choices=SOLVE_PROBLEMS,
+        default="vertex-cover",
+        help="problem family each tenant solves",
+    )
+    parser.add_argument(
+        "--n", type=int, default=9, help="instance size (nodes/elements/variables)"
+    )
+    parser.add_argument(
+        "--backends",
+        default="classical",
+        help="comma-separated backend names for every request",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=50.0, help="token-bucket refill (requests/s)"
+    )
+    parser.add_argument(
+        "--burst", type=int, default=100, help="token-bucket capacity per tenant"
+    )
+
+
+def _serve(args) -> None:
+    """Run the demo workload: tenants × repeated requests, then stats."""
+    from .service import AdmissionRejected, ServiceClient, ServiceConfig, TenantQuota
+
+    config = ServiceConfig(
+        workers=args.workers,
+        mode=args.mode,
+        default_quota=TenantQuota(rate=args.rate, burst=args.burst),
+    )
+    tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
+    # One structurally distinct instance per tenant (sizes n, n+1, ...):
+    # each tenant's first request is a cold compile, every repeat
+    # exercises the fingerprint-memoized path.
+    instances = {
+        t: _build_problem(args.problem, args.n + i, args.seed + i)
+        for i, t in enumerate(tenants)
+    }
+    print(
+        f"serving {args.requests} requests from {len(tenants)} tenants "
+        f"({args.workers} {args.mode} workers, backends {args.backends}, "
+        f"quota {args.rate:g}/s burst {args.burst})"
+    )
+    rejected = 0
+    with ServiceClient(config) as client:
+        for k in range(args.requests):
+            tenant = tenants[k % len(tenants)]
+            try:
+                outcome = client.solve(
+                    instances[tenant],
+                    tenant=tenant,
+                    backends=args.backends,
+                    seed=args.seed,
+                )
+            except AdmissionRejected as err:
+                rejected += 1
+                print(f"{tenant:12s} req {k + 1:<3d} rejected ({err.reason})")
+                continue
+            path = (
+                "hit " if outcome.cache_hit else "warm" if outcome.compile_hit else "cold"
+            )
+            print(
+                f"{tenant:12s} req {k + 1:<3d} {path}  "
+                f"{outcome.wall_s * 1e3:8.1f} ms  winner {outcome.result.winner}"
+            )
+        client.drain()
+        stats = client.stats()
+    print(
+        f"\ncompleted {stats['completed']}, rejected {rejected}; "
+        f"program cache {stats['program_cache']['hits']} hits / "
+        f"{stats['program_cache']['misses']} misses; "
+        f"result cache {stats['result_cache']['hits']} hits / "
+        f"{stats['result_cache']['misses']} misses"
+    )
+
+
+# ---------------------------------------------------------------------------
 # The command registry — the single source of truth for the CLI surface
 # ---------------------------------------------------------------------------
 
@@ -474,6 +581,13 @@ COMMANDS: tuple[Command, ...] = (
         "compile an instance and prove hard dominance + soft fidelity",
         _certify,
         configure=_configure_certify,
+        artifact=False,
+    ),
+    Command(
+        "serve",
+        "run a demo workload through the multi-tenant solve service",
+        _serve,
+        configure=_configure_serve,
         artifact=False,
     ),
 )

@@ -343,7 +343,14 @@ def _opt_float(value) -> Optional[float]:
 
 
 def qubo_fingerprint(qubo: QUBO) -> str:
-    """Content hash of a QUBO, stable under term ordering."""
+    """Content hash of a QUBO, stable under term ordering.
+
+    For whole compiled programs prefer
+    :attr:`~repro.compile.program.CompiledProgram.fingerprint`, which
+    memoizes this hash on the artifact — certification and the
+    service-layer result cache (:mod:`repro.service`) share that one
+    computation instead of re-hashing per call site.
+    """
     pruned = qubo.pruned()
     payload = {
         "offset": round(pruned.offset, 9),
@@ -774,7 +781,7 @@ def _certify_program(
         soft_penalties_exact=program.soft_penalties_exact,
         num_variables=len(program.variables),
         num_ancillas=len(program.ancillas),
-        qubo_sha256=qubo_fingerprint(program.qubo),
+        qubo_sha256=program.fingerprint,
         constraints=tuple(certs),
         feasible_lo=feasible_lo,
         feasible_hi=feasible_hi,
@@ -1020,6 +1027,9 @@ def recheck_certificate(
     NCK404 error rather than an exception.
     """
     out: list[Diagnostic] = []
+    # Deliberately re-hash from the QUBO's content: tamper detection
+    # must not trust the fingerprint memo on the (possibly mutated-in-
+    # place) program artifact.
     fingerprint = qubo_fingerprint(program.qubo)
     checks = (
         (cert.qubo_sha256 == fingerprint, "QUBO fingerprint"),

@@ -83,6 +83,15 @@ DOCSTRING_MODULES: tuple[str, ...] = (
     "analysis/report.py",
     "analysis/cli.py",
     "analysis/certify.py",
+    "service/__init__.py",
+    "service/config.py",
+    "service/admission.py",
+    "service/cache.py",
+    "service/jobs.py",
+    "service/scheduler.py",
+    "service/service.py",
+    "service/worker.py",
+    "service/client.py",
     "__main__.py",
 )
 
@@ -114,6 +123,8 @@ PARAM_COVERAGE: tuple[tuple[str, str], ...] = (
     ("analysis/codelint.py", "lint_file"),
     ("analysis/certify.py", "certify_program"),
     ("analysis/certify.py", "check_energy"),
+    ("service/admission.py", "AdmissionController.admit"),
+    ("service/service.py", "SolveService.solve"),
 )
 
 _NOQA = re.compile(r"#\s*nck:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?")

@@ -97,6 +97,28 @@ class CompiledProgram:
         """Environment variables followed by ancillas (QUBO column order)."""
         return self.variables + self.ancillas
 
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the compiled QUBO, stable under term ordering.
+
+        This is :func:`repro.analysis.certify.qubo_fingerprint` of
+        :attr:`qubo`, computed once per QUBO object and cached on the
+        instance — the one canonical identity both the certification
+        engine (``ProgramCertificate.qubo_sha256``) and the service
+        result cache (:mod:`repro.service`) key on.  The memo is keyed
+        on the identity of :attr:`qubo`, so rebinding the attribute
+        (e.g. post-hoc tampering, which
+        :func:`~repro.analysis.certify.recheck_certificate` must
+        detect) recomputes the hash.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None or cached[0] is not self.qubo:
+            from ..analysis.certify import qubo_fingerprint
+
+            cached = (self.qubo, qubo_fingerprint(self.qubo))
+            self.__dict__["_fingerprint"] = cached
+        return cached[1]
+
     def strip_ancillas(self, assignment: Mapping[str, bool | int]) -> dict[str, bool]:
         """Project a QUBO-level assignment onto environment variables."""
         return {v: bool(assignment[v]) for v in self.variables}

@@ -13,7 +13,9 @@ runtime:
   bounded retry with exponential backoff + jitter, graceful degradation
   to the classical solver;
 * :mod:`~repro.runtime.executor` — :func:`solve` and
-  :class:`BatchRunner`, the concurrent engine itself;
+  :class:`BatchRunner`, the concurrent engine itself, plus
+  :class:`HybridExecutor`, the shared thread/process substrate the
+  solve-as-a-service scheduler (:mod:`repro.service`) dispatches onto;
 * :mod:`~repro.runtime.records` — attempt-level provenance.
 
 Typical use::
@@ -39,7 +41,7 @@ from .backends import (
     make_backend,
     resolve_backends,
 )
-from .executor import BatchRunner, solve
+from .executor import BatchRunner, HybridExecutor, solve
 from .policy import BackendPolicy, PortfolioPolicy, RetryPolicy
 from .records import AttemptRecord, PortfolioError, PortfolioResult
 from .strategy import (
@@ -62,6 +64,7 @@ __all__ = [
     "ClassicalBackend",
     "ENSEMBLE",
     "FALLBACK",
+    "HybridExecutor",
     "PortfolioError",
     "PortfolioPolicy",
     "PortfolioResult",

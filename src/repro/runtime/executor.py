@@ -22,6 +22,7 @@ Everything the engine does is recorded through :mod:`repro.telemetry`
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from concurrent import futures as cf
@@ -39,6 +40,141 @@ from .strategy import Strategy, get_strategy
 if TYPE_CHECKING:  # pragma: no cover
     from ..compile.program import CompiledProgram
     from ..core.env import Env
+
+
+class HybridExecutor:
+    """Shared thread + process execution substrate for the runtime.
+
+    One object owns both pools the solver stack needs:
+
+    * a **thread pool** — portfolio attempts live here, because
+      cooperative cancellation (shared :class:`threading.Event` flags)
+      and cheap handoff of non-picklable backends require shared memory;
+    * a **process pool** — created lazily, for CPU-bound whole-request
+      work (the :mod:`repro.service` scheduler dispatches entire
+      compile+solve jobs onto it when configured with ``mode="process"``,
+      sidestepping the GIL across tenants).
+
+    Both pools are lazy: an executor that only ever runs thread work
+    never forks a process, and vice versa.  :meth:`submit` is the
+    synchronous entry point; :meth:`run` wraps the same future for
+    ``await``-ing from an asyncio event loop, which is what lets the
+    async service front-end and the blocking runtime share one pool
+    budget.  Use as a context manager, or call :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        max_threads: int | None = None,
+        max_processes: int | None = None,
+        thread_name_prefix: str = "repro-runtime",
+    ) -> None:
+        """Configure (but do not yet start) the two pools.
+
+        ``max_threads`` bounds the thread pool (default: ``os.cpu_count()
+        + 4``, the stdlib heuristic), ``max_processes`` the process pool
+        (default: ``os.cpu_count()``), and ``thread_name_prefix`` labels
+        worker threads for debuggability.
+        """
+        self._max_threads = max_threads
+        self._max_processes = max_processes
+        self._thread_name_prefix = thread_name_prefix
+        self._threads: cf.ThreadPoolExecutor | None = None
+        self._processes: cf.ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def threads(self) -> cf.ThreadPoolExecutor:
+        """The thread pool, created on first use."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("HybridExecutor is shut down")
+            if self._threads is None:
+                self._threads = cf.ThreadPoolExecutor(
+                    max_workers=self._max_threads,
+                    thread_name_prefix=self._thread_name_prefix,
+                )
+            return self._threads
+
+    @property
+    def processes(self) -> cf.ProcessPoolExecutor:
+        """The process pool, created on first use.
+
+        Work submitted here must be picklable (module-level functions and
+        plain-data arguments); results travel back by pickle too.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("HybridExecutor is shut down")
+            if self._processes is None:
+                self._processes = cf.ProcessPoolExecutor(
+                    max_workers=self._max_processes
+                )
+            return self._processes
+
+    def submit(self, fn, /, *args, mode: str = "thread", **kwargs) -> cf.Future:
+        """Submit ``fn(*args, **kwargs)`` to the pool named by ``mode``
+        (``"thread"`` or ``"process"``) and return its future."""
+        if mode == "thread":
+            return self.threads.submit(fn, *args, **kwargs)
+        if mode == "process":
+            return self.processes.submit(fn, *args, **kwargs)
+        raise ValueError(f"unknown execution mode {mode!r} (thread|process)")
+
+    async def run(self, fn, /, *args, mode: str = "thread", **kwargs):
+        """Await ``fn(*args, **kwargs)`` on the pool named by ``mode``.
+
+        The asyncio bridge: submits exactly like :meth:`submit` but
+        returns an awaitable, so event-loop code (the service scheduler)
+        can fan work onto the shared pools without blocking the loop.
+        """
+        return await asyncio.wrap_future(self.submit(fn, *args, mode=mode, **kwargs))
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` has been called."""
+        return self._closed
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Shut down both pools (idempotent).
+
+        ``wait=False`` (default) abandons in-flight thread work the same
+        way the portfolio engine does; process-pool shutdown always
+        joins its workers.
+        """
+        with self._lock:
+            self._closed = True
+            threads, self._threads = self._threads, None
+            processes, self._processes = self._processes, None
+        if threads is not None:
+            threads.shutdown(wait=wait)
+        if processes is not None:
+            processes.shutdown(wait=True)
+
+    def __enter__(self) -> "HybridExecutor":
+        """Context-manager entry: returns the executor itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: shuts both pools down."""
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"HybridExecutor({state}, threads="
+            f"{'live' if self._threads else 'lazy'}, processes="
+            f"{'live' if self._processes else 'lazy'})"
+        )
+
+
+def _as_thread_pool(pool) -> cf.ThreadPoolExecutor:
+    """Normalize a ``pool`` argument (thread pool or :class:`HybridExecutor`)
+    to the thread pool the portfolio engine runs attempts on."""
+    if isinstance(pool, HybridExecutor):
+        return pool.threads
+    return pool
 
 
 def _attempt_task(backend, env, program, rng, cancel, attempt):
@@ -322,8 +458,9 @@ def solve(
     timeout: float | None = None,
     retries: int | None = None,
     seed: int | np.random.SeedSequence | None = None,
-    pool: cf.ThreadPoolExecutor | None = None,
+    pool: cf.ThreadPoolExecutor | HybridExecutor | None = None,
     compile_kwargs: dict | None = None,
+    program=None,
 ) -> PortfolioResult:
     """Solve an NchooseK program with a concurrent backend portfolio.
 
@@ -355,12 +492,20 @@ def solve(
         so backends never share RNG state and seeded runs are exactly
         reproducible.  ``None`` draws fresh OS entropy.
     pool:
-        An existing ``ThreadPoolExecutor`` to run attempts on (the
+        An existing ``ThreadPoolExecutor`` — or a :class:`HybridExecutor`,
+        whose thread pool is used — to run attempts on (the
         :class:`BatchRunner` passes its shared pool).  When ``None``, a
         private pool is created and shut down (without waiting for
         abandoned attempts) before returning.
     compile_kwargs:
         Forwarded to :meth:`Env.to_qubo` for the one-time compilation.
+        Ignored when ``program`` is supplied.
+    program:
+        A :class:`~repro.compile.program.CompiledProgram` previously
+        compiled from the same problem.  Supplying one skips the
+        compile step entirely — this is the memoized request path of
+        :mod:`repro.service`, where a fingerprint hit reuses the cached
+        artifact instead of recompiling.
 
     Returns a :class:`~repro.runtime.records.PortfolioResult`; raises
     :class:`~repro.core.types.UnsatisfiableError` when a backend proves
@@ -381,7 +526,8 @@ def solve(
     else:
         seed_root = np.random.SeedSequence(seed)
         seed_label = seed
-    program = env.to_qubo(**(compile_kwargs or {}))
+    if program is None:
+        program = env.to_qubo(**(compile_kwargs or {}))
 
     own_pool = pool is None
     if own_pool:
@@ -389,6 +535,8 @@ def solve(
             max_workers=max(2, 2 * len(backend_list)),
             thread_name_prefix="repro-runtime",
         )
+    else:
+        pool = _as_thread_pool(pool)
     try:
         with telemetry.span(
             "runtime.solve",
@@ -407,9 +555,9 @@ def solve(
 
 
 class BatchRunner:
-    """Solve many programs through one shared thread pool.
+    """Solve many programs through one shared :class:`HybridExecutor`.
 
-    Programs run through the portfolio with the pool, backends, and
+    Programs run through the portfolio with the executor, backends, and
     policy built once and reused, which is what amortizes device-profile
     construction when solving hundreds of instances.  When the portfolio
     is a single backend exposing ``sample_batch`` (the fused multi-program
@@ -432,18 +580,23 @@ class BatchRunner:
         seed: int | None = None,
         max_workers: int | None = None,
         fused: bool | None = None,
+        executor: HybridExecutor | None = None,
     ) -> None:
         """Configure the shared portfolio.
 
         ``backends``, ``strategy``, ``policy``, ``timeout``, and
         ``retries`` have the same meaning as on :func:`solve` and apply
         to every program; ``seed`` is the batch's root seed; and
-        ``max_workers`` sizes the shared pool (default: twice the
-        backend count).  ``fused`` controls the fused fast path: ``None``
-        (default) uses it automatically when the portfolio is a single
-        backend exposing ``sample_batch``, ``True`` requires it (raising
-        when the portfolio cannot fuse), ``False`` always runs the
-        per-program portfolio loop.
+        ``max_workers`` sizes the private executor's thread pool
+        (default: twice the backend count).  ``fused`` controls the
+        fused fast path: ``None`` (default) uses it automatically when
+        the portfolio is a single backend exposing ``sample_batch``,
+        ``True`` requires it (raising when the portfolio cannot fuse),
+        ``False`` always runs the per-program portfolio loop.
+        ``executor`` shares an existing :class:`HybridExecutor` (the
+        service scheduler passes its own); a shared executor is *not*
+        shut down by :meth:`close`, and ``max_workers`` must be left
+        unset.
         """
         if policy is not None and (timeout is not None or retries is not None):
             raise ValueError(
@@ -459,8 +612,12 @@ class BatchRunner:
                 "fused=True needs a single backend exposing sample_batch, "
                 f"got {[b.name for b in self.backends]}"
             )
-        self._max_workers = max_workers or max(2, 2 * len(self.backends))
-        self._pool: cf.ThreadPoolExecutor | None = None
+        if executor is not None and max_workers is not None:
+            raise ValueError("pass either executor or max_workers, not both")
+        self._own_executor = executor is None
+        self._executor = executor or HybridExecutor(
+            max_threads=max_workers or max(2, 2 * len(self.backends))
+        )
 
     def _fusable(self) -> bool:
         """Whether the portfolio can take the fused fast path."""
@@ -468,12 +625,13 @@ class BatchRunner:
             getattr(self.backends[0], "sample_batch", None)
         )
 
+    @property
+    def executor(self) -> HybridExecutor:
+        """The :class:`HybridExecutor` this runner schedules onto."""
+        return self._executor
+
     def _ensure_pool(self) -> cf.ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = cf.ThreadPoolExecutor(
-                max_workers=self._max_workers, thread_name_prefix="repro-runtime"
-            )
-        return self._pool
+        return self._executor.threads
 
     def run(self, problems: Iterable) -> list[PortfolioResult]:
         """Solve every program in ``problems`` (envs or problem
@@ -561,10 +719,15 @@ class BatchRunner:
         return results
 
     def close(self) -> None:
-        """Shut down the shared pool (without waiting for abandoned work)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False)
-            self._pool = None
+        """Shut down the private executor (without waiting for abandoned
+        work).  A shared executor passed at construction is left running
+        for its owner to close."""
+        if self._own_executor and not self._executor.closed:
+            max_threads = self._executor._max_threads
+            self._executor.shutdown(wait=False)
+            # Stay usable after close(), as the thread-pool version was:
+            # a fresh lazy executor costs nothing until the next run().
+            self._executor = HybridExecutor(max_threads=max_threads)
 
     def __enter__(self) -> "BatchRunner":
         """Context-manager entry: returns the runner itself."""

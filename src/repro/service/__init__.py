@@ -1,0 +1,53 @@
+"""Multi-tenant solve-as-a-service on top of the portfolio runtime.
+
+This package turns :func:`repro.runtime.solve` into a long-running,
+shared, *protected* facility:
+
+* :mod:`~repro.service.config` — :class:`ServiceConfig` /
+  :class:`TenantQuota`, the frozen values one service is built from;
+* :mod:`~repro.service.admission` — per-tenant token buckets and
+  bounded queues; over-budget requests get a typed
+  :class:`AdmissionRejected`, never unbounded queueing;
+* :mod:`~repro.service.cache` — the memoizing request path: canonical
+  request fingerprints → compiled programs, and
+  :attr:`CompiledProgram.fingerprint` + solver signature → finished
+  results, so a repeat request skips compile and solve entirely;
+* :mod:`~repro.service.scheduler` / :mod:`~repro.service.worker` —
+  tenant-fair round-robin dispatch onto the shared
+  :class:`~repro.runtime.executor.HybridExecutor` (threads or worker
+  processes);
+* :mod:`~repro.service.service` — :class:`SolveService`, the asyncio
+  front-end tying it together, with graceful lossless drain;
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
+  facade for synchronous callers (and ``python -m repro serve``).
+
+See ``docs/service.md`` for the request lifecycle, quota semantics, and
+the cache-key contract.
+"""
+
+from .admission import AdmissionController, AdmissionRejected, TokenBucket
+from .cache import LRUCache, request_fingerprint, solver_signature
+from .client import ServiceClient
+from .config import ServiceConfig, TenantQuota
+from .jobs import ServiceResult, SolveRequest
+from .scheduler import Job, JobScheduler
+from .service import SolveService
+from .worker import execute_request
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "Job",
+    "JobScheduler",
+    "LRUCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceResult",
+    "SolveRequest",
+    "SolveService",
+    "TenantQuota",
+    "TokenBucket",
+    "execute_request",
+    "request_fingerprint",
+    "solver_signature",
+]

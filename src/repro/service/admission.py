@@ -1,0 +1,177 @@
+"""Admission control: per-tenant token buckets and bounded queues.
+
+The service's first line of defense.  Every request passes through
+:meth:`AdmissionController.admit` before it may touch the scheduler;
+the controller either records an admission or raises a typed
+:class:`AdmissionRejected` carrying the machine-readable reason — the
+request is *never* queued unboundedly.  Three budgets are enforced, in
+order:
+
+1. **lifecycle** — a draining or stopped service admits nothing
+   (reason ``draining``);
+2. **queue depth** — the global scheduler bound and the tenant's own
+   ``max_queued`` share (reasons ``queue-full`` / ``tenant-queue-full``);
+3. **rate** — the tenant's token bucket (reason ``over-quota``), with
+   ``retry_after`` telling well-behaved clients when a token will next
+   be available.
+
+Decisions are counted under the ``service.admission.*`` telemetry
+family (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from .. import telemetry
+from .config import ServiceConfig, TenantQuota
+
+__all__ = ["AdmissionController", "AdmissionRejected", "TokenBucket"]
+
+#: The closed set of machine-readable rejection reasons.
+REJECTION_REASONS = ("draining", "queue-full", "tenant-queue-full", "over-quota")
+
+
+class AdmissionRejected(RuntimeError):
+    """A request was refused at the door rather than queued.
+
+    ``tenant`` is the requesting tenant, ``reason`` one of
+    :data:`REJECTION_REASONS`, and ``retry_after`` the controller's
+    estimate (seconds) of when the same request could succeed —
+    ``None`` when retrying is pointless (a draining service).
+    """
+
+    def __init__(
+        self, tenant: str, reason: str, retry_after: float | None = None
+    ) -> None:
+        """Store the decision; the message renders all three fields."""
+        if reason not in REJECTION_REASONS:
+            raise ValueError(f"unknown rejection reason {reason!r}")
+        detail = f" (retry after {retry_after:.3f}s)" if retry_after else ""
+        super().__init__(f"tenant {tenant!r} rejected: {reason}{detail}")
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """A monotonic-clock token bucket.
+
+    Starts full at ``quota.burst`` tokens and refills continuously at
+    ``quota.rate`` tokens/second.  :meth:`try_acquire` either consumes
+    one token and returns ``None``, or returns the wait (seconds) until
+    a token will be available — ``float("inf")`` when ``rate`` is 0 and
+    the bucket is empty.  ``clock`` is injectable for deterministic
+    tests.
+    """
+
+    def __init__(
+        self, quota: TenantQuota, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        """Create a full bucket governed by ``quota``."""
+        self.quota = quota
+        self._clock = clock
+        self._tokens = float(quota.burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(
+            float(self.quota.burst), self._tokens + elapsed * self.quota.rate
+        )
+
+    def try_acquire(self) -> float | None:
+        """Take one token; return ``None`` on success or the seconds
+        until one becomes available."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            if self.quota.rate <= 0.0:
+                return float("inf")
+            return (1.0 - self._tokens) / self.quota.rate
+
+    @property
+    def available(self) -> float:
+        """Current token count (after refill), for introspection."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class AdmissionController:
+    """Gatekeeper enforcing quotas and queue bounds for one service.
+
+    Holds one lazily-created :class:`TokenBucket` per tenant (from the
+    config's quota table) and the running admitted/rejected tallies the
+    service's :meth:`~repro.service.service.SolveService.stats` report.
+    Thread-safe: the client may submit from any thread.
+    """
+
+    def __init__(
+        self, config: ServiceConfig, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        """Build the controller for ``config``; ``clock`` feeds the
+        buckets (injectable for tests)."""
+        self.config = config
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected: dict[str, int] = {}
+
+    def bucket_for(self, tenant: str) -> TokenBucket:
+        """The tenant's token bucket, created on first sight."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.config.quota_for(tenant), self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def _reject(
+        self, tenant: str, reason: str, retry_after: float | None = None
+    ) -> AdmissionRejected:
+        with self._lock:
+            self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        telemetry.count("service.admission.rejected")
+        telemetry.count(f"service.admission.rejected.{reason.replace('-', '_')}")
+        return AdmissionRejected(tenant, reason, retry_after)
+
+    def admit(
+        self, tenant: str, *, queue_depth: int, tenant_depth: int, draining: bool
+    ) -> None:
+        """Admit one request or raise :class:`AdmissionRejected`.
+
+        ``queue_depth`` / ``tenant_depth`` are the scheduler's current
+        global and per-tenant queued counts; ``draining`` is the
+        service lifecycle flag.  Checks run cheapest-first and the
+        token is only consumed once both queue bounds pass, so a
+        rejected request never burns quota.
+        """
+        if draining:
+            raise self._reject(tenant, "draining")
+        if queue_depth >= self.config.max_queue_depth:
+            raise self._reject(tenant, "queue-full", retry_after=0.05)
+        quota = self.config.quota_for(tenant)
+        if tenant_depth >= quota.max_queued:
+            raise self._reject(tenant, "tenant-queue-full", retry_after=0.05)
+        wait = self.bucket_for(tenant).try_acquire()
+        if wait is not None:
+            raise self._reject(
+                tenant, "over-quota", retry_after=None if wait == float("inf") else wait
+            )
+        with self._lock:
+            self.admitted += 1
+        telemetry.count("service.admission.admitted")
+
+    def snapshot(self) -> dict:
+        """Current tallies: admitted count and per-reason rejections."""
+        with self._lock:
+            return {"admitted": self.admitted, "rejected": dict(self.rejected)}

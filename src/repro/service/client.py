@@ -1,0 +1,119 @@
+"""Blocking client for :class:`~repro.service.service.SolveService`.
+
+The service is asyncio all the way down; most callers (tests, the CLI,
+notebooks) are not.  :class:`ServiceClient` bridges the gap by owning a
+**background event-loop thread**: the service's coroutines run there,
+and every public client method is a plain blocking call marshalled
+across with ``asyncio.run_coroutine_threadsafe``.  One client may be
+shared by many calling threads — each call is independently marshalled
+— and admission rejections surface as the same typed
+:class:`~repro.service.admission.AdmissionRejected` the async API
+raises.
+
+    from repro.service import ServiceClient, ServiceConfig
+
+    with ServiceClient(ServiceConfig(workers=2)) as client:
+        outcome = client.solve(env, tenant="alice", backends="classical")
+
+``with`` (or :meth:`close`) drains the service gracefully — every
+accepted request completes — then stops the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent import futures as cf
+
+from .config import ServiceConfig
+from .jobs import ServiceResult, SolveRequest
+from .service import SolveService
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Synchronous facade over one in-process :class:`SolveService`.
+
+    The constructor starts the loop thread and the service eagerly, so
+    a constructed client is ready to serve; it must be closed (``with``
+    or :meth:`close`) to release the thread and the executor pools.
+    """
+
+    def __init__(
+        self, config: ServiceConfig | None = None, *, name: str = "repro-service-loop"
+    ) -> None:
+        """Start the background loop thread and the service on it."""
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name=name, daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+        self.service = SolveService(config)
+        self._call(self.service.start())
+
+    def _call(self, coro, timeout: float | None = None):
+        """Run ``coro`` on the service loop; block for (and return) its result."""
+        if self._closed:
+            coro.close()  # don't leak a never-awaited coroutine
+            raise RuntimeError("ServiceClient is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    def solve(
+        self, problem, *, tenant: str = "default", timeout: float | None = None, **options
+    ) -> ServiceResult:
+        """Submit one request and block until its :class:`ServiceResult`.
+
+        ``timeout`` bounds the *request's backends* exactly as on
+        :func:`repro.runtime.solve`; the client blocks as long as the
+        service needs.  Raises
+        :class:`~repro.service.admission.AdmissionRejected` immediately
+        when admission refuses the request.
+        """
+        return self._call(
+            self.service.solve(problem, tenant=tenant, timeout=timeout, **options)
+        )
+
+    def submit(self, request: SolveRequest) -> "cf.Future[ServiceResult]":
+        """Admit ``request`` and return a *concurrent.futures* future.
+
+        Admission happens synchronously (raising
+        :class:`~repro.service.admission.AdmissionRejected` here, never
+        inside the future); the returned future settles when the job
+        completes, so callers can fan out many requests and gather.
+        """
+        inner = self._call(self.service.submit(request))
+
+        async def _await_inner() -> ServiceResult:
+            return await inner
+
+        return asyncio.run_coroutine_threadsafe(_await_inner(), self._loop)
+
+    def stats(self) -> dict:
+        """The service's :meth:`~SolveService.stats` snapshot."""
+        return self.service.stats()
+
+    def drain(self) -> None:
+        """Stop admitting; block until all accepted work completes."""
+        self._call(self.service.drain())
+
+    def close(self) -> None:
+        """Drain, close the service, and stop the loop thread (idempotent)."""
+        if self._closed:
+            return
+        try:
+            self._call(self.service.aclose())
+        finally:
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the ready client."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: graceful :meth:`close`."""
+        self.close()

@@ -1,0 +1,112 @@
+"""Service configuration: tenants, quotas, workers, cache budgets.
+
+Everything the long-running :class:`~repro.service.service.SolveService`
+needs to know at construction time lives in one validated
+:class:`ServiceConfig` value: how many scheduler workers run, whether
+jobs execute on threads or worker processes, how deep the global queue
+may grow before admission rejects, the per-tenant token-bucket quotas,
+and the sizes of the two memoization tiers (compiled-program cache and
+result cache).  Keeping configuration a frozen value makes a service
+instance's behavior reproducible from its config alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceConfig", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission-control budget for one tenant.
+
+    ``rate`` is the token-bucket refill rate in requests per second and
+    ``burst`` the bucket capacity (the number of requests a tenant may
+    issue instantaneously from a full bucket).  ``max_queued`` bounds
+    how many of the tenant's jobs may wait in the scheduler at once —
+    the per-tenant share of the global queue, so one tenant can never
+    occupy every slot.  A ``rate`` of 0 grants exactly ``burst``
+    requests for the lifetime of the service (useful in tests and for
+    hard-capped trial tenants).
+    """
+
+    rate: float = 50.0
+    burst: int = 100
+    max_queued: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.max_queued < 1:
+            raise ValueError(f"max_queued must be >= 1, got {self.max_queued}")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Full configuration of one :class:`~repro.service.service.SolveService`.
+
+    Attributes
+    ----------
+    workers:
+        Concurrent scheduler slots — the number of jobs solving at once.
+    mode:
+        Where job bodies execute: ``"thread"`` (shared-memory, default)
+        or ``"process"`` (one compile+solve per pool process, GIL-free
+        across tenants; requests must then be picklable).
+    max_queue_depth:
+        Global bound on jobs waiting in the scheduler.  Admission
+        rejects (``queue-full``) rather than queueing past it.
+    default_quota:
+        The :class:`TenantQuota` applied to tenants without an explicit
+        entry in ``quotas``.
+    quotas:
+        Per-tenant overrides, keyed by tenant id.
+    program_cache_size / result_cache_size:
+        LRU entry budgets of the two memoization tiers (compiled
+        programs keyed by canonical request fingerprint; portfolio
+        results keyed by program fingerprint + solver signature).
+    cache_dir:
+        Optional on-disk cache directory shared with the compiler's
+        ``TemplateStore`` (and ``CertificateStore`` under ``certify``),
+        so even a cold process start reuses persisted templates.
+    certify:
+        Compile with the certification post-pass, attaching a
+        :class:`~repro.analysis.certify.ProgramCertificate` to every
+        cached program (and enabling the runtime's energy cross-check).
+    drain_timeout:
+        Upper bound in seconds :meth:`SolveService.drain` waits for
+        in-flight jobs before raising — the backstop against a hung
+        backend blocking shutdown forever.
+    """
+
+    workers: int = 4
+    mode: str = "thread"
+    max_queue_depth: int = 256
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    program_cache_size: int = 256
+    result_cache_size: int = 1024
+    cache_dir: str | None = None
+    certify: bool = False
+    drain_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.mode not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', got {self.mode!r}")
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.program_cache_size < 0 or self.result_cache_size < 0:
+            raise ValueError("cache sizes must be >= 0")
+        if self.drain_timeout <= 0:
+            raise ValueError(f"drain_timeout must be > 0, got {self.drain_timeout}")
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota governing ``tenant`` (explicit entry or the default)."""
+        return self.quotas.get(tenant, self.default_quota)

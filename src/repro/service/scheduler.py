@@ -1,0 +1,204 @@
+"""The async job scheduler: per-tenant queues, round-robin dispatch.
+
+Admitted requests become :class:`Job`\\ s in per-tenant FIFO deques; a
+fixed set of worker coroutines drains them in **tenant round-robin**
+order (one job per tenant per turn), so a tenant with a thousand queued
+jobs cannot starve a tenant with one.  Each worker awaits its job body
+on the shared :class:`~repro.runtime.executor.HybridExecutor` —
+``mode="thread"`` or ``mode="process"`` per the service config — which
+is what keeps the event loop free while solves grind on the pools.
+
+Every piece of queue state is owned by the event loop (guarded by one
+``asyncio.Condition``), so depth accounting is exact: :meth:`drain`
+resolves only when queued + in-flight both reach zero, which is the
+zero-dropped-jobs guarantee :meth:`SolveService.drain` builds on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .. import telemetry
+from ..runtime.executor import HybridExecutor
+from .worker import execute_request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..compile.program import CompiledProgram
+    from .jobs import SolveRequest
+
+__all__ = ["Job", "JobScheduler"]
+
+
+@dataclass
+class Job:
+    """One admitted request waiting for (or holding) a worker slot.
+
+    ``program`` is the front-end's program-cache hit (``None`` on a
+    cold request); ``future`` resolves to the worker's ``(program,
+    result)`` pair or its exception; ``queued_s`` is filled in at
+    dispatch time with the wait the job actually experienced.
+    """
+
+    request: "SolveRequest"
+    future: asyncio.Future
+    program: "CompiledProgram | None" = None
+    enqueued_at: float = 0.0
+    queued_s: float = field(default=0.0, compare=False)
+
+    @property
+    def tenant(self) -> str:
+        """The owning tenant (the round-robin key)."""
+        return self.request.tenant
+
+
+class JobScheduler:
+    """Round-robin dispatcher from per-tenant queues onto the executor.
+
+    Owns no policy: admission has already happened by the time
+    :meth:`submit` is called, and queue *bounds* are enforced there
+    using this scheduler's :attr:`depth` / :meth:`tenant_depth` as
+    inputs.  The scheduler only promises order (per-tenant FIFO,
+    cross-tenant round-robin) and loss-free accounting.
+    """
+
+    def __init__(
+        self,
+        executor: HybridExecutor,
+        *,
+        workers: int = 4,
+        mode: str = "thread",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Configure ``workers`` concurrent slots running jobs on
+        ``executor`` in ``mode`` (``"thread"`` / ``"process"``)."""
+        self._executor = executor
+        self._mode = mode
+        self._n_workers = workers
+        self._clock = clock
+        self._queues: dict[str, deque[Job]] = {}
+        self._rr: deque[str] = deque()
+        self._depth = 0
+        self._in_flight = 0
+        self._cond: asyncio.Condition | None = None
+        self._idle: asyncio.Event | None = None
+        self._workers: list[asyncio.Task] = []
+        self._stopped = False
+
+    @property
+    def depth(self) -> int:
+        """Jobs currently queued (excluding in-flight)."""
+        return self._depth
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs currently executing on the pool."""
+        return self._in_flight
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Queued jobs belonging to ``tenant``."""
+        return len(self._queues.get(tenant, ()))
+
+    async def start(self) -> None:
+        """Spawn the worker coroutines (idempotent; needs a running loop)."""
+        if self._workers:
+            return
+        self._cond = asyncio.Condition()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"repro-service-worker-{i}")
+            for i in range(self._n_workers)
+        ]
+
+    async def submit(self, job: Job) -> None:
+        """Enqueue an admitted job; its ``future`` resolves on completion."""
+        if self._cond is None:
+            raise RuntimeError("scheduler not started")
+        async with self._cond:
+            if self._stopped:
+                raise RuntimeError("scheduler stopped")
+            job.enqueued_at = self._clock()
+            queue = self._queues.get(job.tenant)
+            if queue is None:
+                queue = self._queues[job.tenant] = deque()
+                self._rr.append(job.tenant)
+            queue.append(job)
+            self._depth += 1
+            self._idle.clear()
+            telemetry.gauge("service.queue_depth", self._depth)
+            self._cond.notify()
+
+    def _pop(self) -> Job | None:
+        """Take the next job, round-robin across tenants (caller holds
+        the condition lock); claims an in-flight slot atomically."""
+        while self._rr:
+            tenant = self._rr.popleft()
+            queue = self._queues.get(tenant)
+            if not queue:  # pragma: no cover - defensive; invariant keeps these in sync
+                self._queues.pop(tenant, None)
+                continue
+            job = queue.popleft()
+            if queue:
+                self._rr.append(tenant)
+            else:
+                del self._queues[tenant]
+            self._depth -= 1
+            self._in_flight += 1
+            telemetry.gauge("service.queue_depth", self._depth)
+            return job
+        return None
+
+    async def _worker(self) -> None:
+        """One worker slot: pop, execute on the pool, settle the future."""
+        while True:
+            async with self._cond:
+                job = self._pop()
+                while job is None and not self._stopped:
+                    await self._cond.wait()
+                    job = self._pop()
+            if job is None:  # stopped and nothing left to do
+                return
+            job.queued_s = max(0.0, self._clock() - job.enqueued_at)
+            telemetry.observe("service.queue_wait_seconds", job.queued_s)
+            try:
+                outcome = await self._executor.run(
+                    execute_request, job.request, job.program, mode=self._mode
+                )
+            except BaseException as exc:  # noqa: BLE001 - forwarded, never lost
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            else:
+                if not job.future.done():
+                    job.future.set_result(outcome)
+            finally:
+                async with self._cond:
+                    self._in_flight -= 1
+                    if self._depth == 0 and self._in_flight == 0:
+                        self._idle.set()
+
+    async def drain(self, timeout: float) -> None:
+        """Block until queued + in-flight both hit zero.
+
+        Raises ``TimeoutError`` after ``timeout`` seconds — the backstop
+        against a hung backend; jobs still in flight keep their futures
+        and may yet complete.
+        """
+        if self._idle is None:
+            return
+        await asyncio.wait_for(self._idle.wait(), timeout)
+
+    async def stop(self) -> None:
+        """Stop the workers once the queues are empty (call after
+        :meth:`drain` for a graceful shutdown)."""
+        if self._cond is None:
+            return
+        async with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+            self._workers = []

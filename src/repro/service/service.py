@@ -1,0 +1,320 @@
+"""The asyncio solve service: admission → memoization → scheduling.
+
+:class:`SolveService` is the front door.  One instance owns the whole
+stack — an :class:`~repro.service.admission.AdmissionController`, the
+two :class:`~repro.service.cache.LRUCache` memoization tiers, a
+:class:`~repro.service.scheduler.JobScheduler`, and the shared
+:class:`~repro.runtime.executor.HybridExecutor` jobs execute on — and
+walks every request through the same lifecycle:
+
+1. **admit** — quota + queue bounds, or a typed
+   :class:`~repro.service.admission.AdmissionRejected`;
+2. **memoize** — canonical request fingerprint → program cache;
+   on a program hit, ``program.fingerprint`` + solver signature →
+   result cache.  A result hit returns immediately (the *same*
+   :class:`~repro.runtime.records.PortfolioResult` object — hit and
+   miss are byte-identical) without ever queueing;
+3. **schedule** — everything else becomes a queued job; on completion
+   the compiled program and result are written back to the caches.
+
+Lifecycle: :meth:`start` → serving → :meth:`drain` (stop admitting,
+finish every queued and in-flight job — nothing is dropped) →
+:meth:`aclose` (stop workers, release the executor).  ``async with``
+does start/aclose automatically.  Synchronous callers should use
+:class:`~repro.service.client.ServiceClient` instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from dataclasses import replace
+from typing import Callable
+
+from .. import telemetry
+from ..runtime.executor import HybridExecutor
+from .admission import AdmissionController
+from .cache import LRUCache
+from .config import ServiceConfig
+from .jobs import ServiceResult, SolveRequest
+from .scheduler import Job, JobScheduler
+
+__all__ = ["SolveService"]
+
+_TENANT_SEGMENT_RE = re.compile(r"[^a-z0-9_]+")
+
+
+def _tenant_segment(tenant: str) -> str:
+    """A tenant id as a single canonical metric-name segment."""
+    segment = _TENANT_SEGMENT_RE.sub("_", tenant.lower()).strip("_")
+    return segment or "unnamed"
+
+
+class SolveService:
+    """Multi-tenant solve-as-a-service front-end (asyncio).
+
+    All coroutine methods must run on one event loop; the heavy lifting
+    happens on the shared executor's pools, never on the loop itself.
+    Construction is cheap — no threads, processes, or tasks exist until
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Assemble the stack from ``config`` (defaults are sensible for
+        tests and demos); ``clock`` feeds admission and latency
+        accounting, injectable for determinism."""
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        self.executor = HybridExecutor(
+            max_threads=self.config.workers,
+            max_processes=self.config.workers,
+            thread_name_prefix="repro-service",
+        )
+        self.admission = AdmissionController(self.config, clock)
+        self.programs = LRUCache(self.config.program_cache_size)
+        self.results = LRUCache(self.config.result_cache_size)
+        self.scheduler = JobScheduler(
+            self.executor,
+            workers=self.config.workers,
+            mode=self.config.mode,
+            clock=clock,
+        )
+        self._state = "new"  # new -> running -> draining -> closed
+        self._completed = 0
+        self._failed = 0
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: ``new`` / ``running`` / ``draining`` / ``closed``."""
+        return self._state
+
+    async def start(self) -> None:
+        """Start serving (idempotent; needs a running event loop)."""
+        if self._state == "running":
+            return
+        if self._state in ("draining", "closed"):
+            raise RuntimeError(f"cannot restart a {self._state} service")
+        await self.scheduler.start()
+        self._state = "running"
+
+    def _effective(self, request: SolveRequest) -> SolveRequest:
+        """The request with service-level compile defaults folded in.
+
+        ``certify`` and ``cache_dir`` from the config apply unless the
+        request set them explicitly; folding them in *before*
+        fingerprinting keeps the program-cache key honest.
+        """
+        kwargs = dict(request.compile_kwargs)
+        if self.config.certify:
+            kwargs.setdefault("certify", True)
+        if self.config.cache_dir is not None:
+            kwargs.setdefault("cache_dir", self.config.cache_dir)
+        if kwargs == request.compile_kwargs:
+            return request
+        return replace(request, compile_kwargs=kwargs)
+
+    async def submit(self, request: SolveRequest) -> "asyncio.Future[ServiceResult]":
+        """Admit one request; returns a future for its :class:`ServiceResult`.
+
+        Raises :class:`~repro.service.admission.AdmissionRejected`
+        *synchronously* (before any future exists) when the tenant is
+        over quota or the queues are full.  A result-cache hit resolves
+        the returned future immediately; everything else resolves when
+        the scheduled job completes (or fails — compiler and runtime
+        exceptions are forwarded verbatim).
+        """
+        if self._state == "new":
+            await self.start()
+        t0 = self._clock()
+        self.admission.admit(
+            request.tenant,
+            queue_depth=self.scheduler.depth,
+            tenant_depth=self.scheduler.tenant_depth(request.tenant),
+            draining=self._state != "running",
+        )
+        request = self._effective(request)
+        loop = asyncio.get_running_loop()
+        done: asyncio.Future = loop.create_future()
+
+        program = None
+        request_key = None
+        signature = None
+        with telemetry.span("service.request", tenant=request.tenant):
+            if request.use_cache:
+                request_key = request.fingerprint()
+                program = self.programs.get(request_key)
+                if program is not None:
+                    telemetry.count("service.cache.program_hits")
+                else:
+                    telemetry.count("service.cache.program_misses")
+                if program is not None:
+                    signature = request.signature()
+                    cached = self.results.get((program.fingerprint, signature))
+                    if cached is not None:
+                        telemetry.count("service.cache.hits")
+                        done.set_result(
+                            self._settle(
+                                request,
+                                cached,
+                                t0,
+                                cache_hit=True,
+                                compile_hit=True,
+                                queued_s=0.0,
+                                fingerprint=program.fingerprint,
+                            )
+                        )
+                        return done
+                telemetry.count("service.cache.misses")
+
+            job = Job(request=request, future=loop.create_future(), program=program)
+            await self.scheduler.submit(job)
+            job.future.add_done_callback(
+                lambda _fut: self._on_job_done(
+                    job, done, request_key, signature, program is not None, t0
+                )
+            )
+            return done
+
+    def _on_job_done(
+        self,
+        job: Job,
+        done: asyncio.Future,
+        request_key: str | None,
+        signature: str | None,
+        compile_hit: bool,
+        t0: float,
+    ) -> None:
+        """Scheduler-job completion: write back caches, settle ``done``."""
+        if done.done():  # pragma: no cover - client abandoned the future
+            return
+        fut = job.future
+        exc = fut.exception() if not fut.cancelled() else None
+        if fut.cancelled() or exc is not None:
+            self._failed += 1
+            telemetry.count("service.failed")
+            if fut.cancelled():
+                done.cancel()
+            else:
+                done.set_exception(exc)
+            return
+        program, result = fut.result()
+        request = job.request
+        if request.use_cache and request_key is not None:
+            self.programs.put(request_key, program)
+            if signature is None:
+                signature = request.signature()
+            self.results.put((program.fingerprint, signature), result)
+        done.set_result(
+            self._settle(
+                request,
+                result,
+                t0,
+                cache_hit=False,
+                compile_hit=compile_hit,
+                queued_s=job.queued_s,
+                fingerprint=program.fingerprint,
+            )
+        )
+
+    def _settle(
+        self,
+        request: SolveRequest,
+        result,
+        t0: float,
+        *,
+        cache_hit: bool,
+        compile_hit: bool,
+        queued_s: float,
+        fingerprint: str | None,
+    ) -> ServiceResult:
+        """Wrap a finished request and record its latency telemetry."""
+        wall = max(0.0, self._clock() - t0)
+        self._completed += 1
+        telemetry.count("service.completed")
+        telemetry.observe("service.request_seconds", wall)
+        telemetry.observe(
+            f"service.tenant.{_tenant_segment(request.tenant)}.seconds", wall
+        )
+        return ServiceResult(
+            result=result,
+            tenant=request.tenant,
+            cache_hit=cache_hit,
+            compile_hit=compile_hit,
+            queued_s=queued_s,
+            wall_s=wall,
+            program_fingerprint=fingerprint,
+        )
+
+    async def solve(self, problem, *, tenant: str = "default", **options) -> ServiceResult:
+        """Submit and await in one call.
+
+        ``problem`` is an :class:`~repro.core.env.Env` or problem
+        instance, ``tenant`` the admission-control identity, and
+        ``options`` the remaining :class:`~repro.service.jobs.SolveRequest`
+        fields (``backends``, ``strategy``, ``timeout``, ``retries``,
+        ``seed``, ``compile_kwargs``, ``use_cache``).
+        """
+        return await (
+            await self.submit(SolveRequest(problem=problem, tenant=tenant, **options))
+        )
+
+    async def drain(self) -> None:
+        """Stop admitting and wait for every queued + in-flight job.
+
+        No job is dropped: everything admitted before the drain began
+        runs to completion (bounded by the config's ``drain_timeout``,
+        after which ``TimeoutError`` is raised as the hung-backend
+        backstop).  New submissions are rejected with reason
+        ``draining``.  Idempotent; a drained service stays drained.
+        """
+        if self._state in ("draining", "closed"):
+            return
+        self._state = "draining"
+        await self.scheduler.drain(self.config.drain_timeout)
+
+    async def aclose(self) -> None:
+        """Drain, stop the workers, and release the executor."""
+        if self._state == "closed":
+            return
+        if self._state == "running":
+            await self.drain()
+        await self.scheduler.stop()
+        self.executor.shutdown(wait=True)
+        self._state = "closed"
+
+    async def __aenter__(self) -> "SolveService":
+        """``async with`` entry: starts the service."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """``async with`` exit: graceful drain + close."""
+        await self.aclose()
+
+    def stats(self) -> dict:
+        """One queryable snapshot of the whole stack.
+
+        Keys: ``state``, ``completed`` / ``failed`` tallies,
+        ``queued`` / ``in_flight`` scheduler depths, the admission
+        controller's ``admitted`` / per-reason ``rejected`` counts, and
+        the two caches' hit/miss/eviction stats (``program_cache`` /
+        ``result_cache``).
+        """
+        admission = self.admission.snapshot()
+        return {
+            "state": self._state,
+            "completed": self._completed,
+            "failed": self._failed,
+            "queued": self.scheduler.depth,
+            "in_flight": self.scheduler.in_flight,
+            "admitted": admission["admitted"],
+            "rejected": admission["rejected"],
+            "program_cache": self.programs.stats(),
+            "result_cache": self.results.stats(),
+        }

@@ -27,13 +27,18 @@ KNOWN_SPAN_PREFIXES: frozenset[str] = frozenset(
         "runtime",
         "experiments",
         "analysis",
+        "service",
     }
 )
 
-#: Declared two-level families under the ``anneal`` prefix for the
-#: sparse/batched numeric core (see ``docs/numerics.md``): kernel-path
-#: counters (``anneal.sparse.*``) and fused multi-program job metrics
-#: (``anneal.batch.*``).  REP301 validates prefixes; this registry is
+#: Declared two-level families under existing prefixes: the
+#: sparse/batched numeric core's kernel-path counters
+#: (``anneal.sparse.*``), fused multi-program job metrics
+#: (``anneal.batch.*``, ``runtime.batch.*`` — see ``docs/numerics.md``),
+#: and the solve-service request path (``service.admission.*`` decision
+#: counters, ``service.cache.*`` memoization outcomes,
+#: ``service.tenant.*`` per-tenant latency histograms — see
+#: ``docs/service.md``).  REP301 validates prefixes; this registry is
 #: the documented home for the families so dashboards and
 #: ``docs/observability.md`` stay in sync.
 KNOWN_NAME_FAMILIES: frozenset[str] = frozenset(
@@ -41,6 +46,9 @@ KNOWN_NAME_FAMILIES: frozenset[str] = frozenset(
         "anneal.sparse",
         "anneal.batch",
         "runtime.batch",
+        "service.admission",
+        "service.cache",
+        "service.tenant",
     }
 )
 

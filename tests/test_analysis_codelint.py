@@ -307,7 +307,7 @@ class TestTelemetryNamingRegistry:
     def test_known_prefixes(self):
         assert KNOWN_SPAN_PREFIXES == {
             "compile", "anneal", "circuit", "classical", "runtime",
-            "experiments", "analysis",
+            "service", "experiments", "analysis",
         }
 
     @pytest.mark.parametrize(

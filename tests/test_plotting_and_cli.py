@@ -146,6 +146,24 @@ class TestRegistryHelpParity:
         assert "lint" in out
         assert "% optimal" in out  # the literal percent renders unmangled
 
+    def test_serve_is_registered_with_full_parity(self, capsys):
+        """``serve`` must be in the registry, --help, and the docstring."""
+        import repro.__main__ as cli
+
+        serve = next(c for c in cli.COMMANDS if c.name == "serve")
+        assert serve.artifact is False  # not part of trace/all rosters
+        assert serve.configure is not None
+        assert "serve" in self.render_help(capsys)
+        assert "python -m repro serve" in cli.__doc__
+
+    def test_serve_subparser_exposes_workload_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--requests", "--tenants", "--workers", "--mode", "--rate"):
+            assert flag in out, flag
+
     def test_module_docstring_usage_block_lists_every_command(self):
         import repro.__main__ as cli
 

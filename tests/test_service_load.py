@@ -1,0 +1,217 @@
+"""Slow load tests: the service under ≥1000 concurrent requests.
+
+Run with ``pytest -m slow`` (the Makefile's ``test-slow`` target).
+These are the acceptance tests for the solve-as-a-service layer:
+
+* sustained concurrency — 1000+ requests in flight at once against a
+  forced-slow backend, with per-tenant token buckets deciding who gets
+  served: over-quota tenants collect typed ``AdmissionRejected``
+  errors while in-quota tenants complete;
+* lossless graceful drain — a drain begun mid-storm finishes every
+  admitted job: ``completed + rejected == submitted`` exactly, with
+  zero dropped in-flight requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core import Env
+from repro.core.solution import SampleSet, Solution
+from repro.service import (
+    AdmissionRejected,
+    ServiceConfig,
+    SolveRequest,
+    SolveService,
+    TenantQuota,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def two_var_env() -> Env:
+    """hard: at least one of a, b; soft: prefer each FALSE."""
+    env = Env()
+    env.nck(["a", "b"], [1, 2])
+    env.nck(["a"], [0], soft=True)
+    env.nck(["b"], [0], soft=True)
+    return env
+
+
+class ForcedSlowBackend:
+    """Deterministic backend with a fixed per-sample delay.
+
+    The delay guarantees a deep standing queue, which is what makes the
+    concurrency / fairness / drain claims meaningful under load.
+    """
+
+    name = "forced-slow"
+    deterministic = True
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def sample(self, env, *, rng=None, program=None):
+        with self._lock:
+            self.calls += 1
+        time.sleep(self.delay)
+        sol = Solution.from_assignment(env, {"a": True, "b": False}, backend=self.name)
+        return SampleSet(solutions=[sol], backend=self.name)
+
+
+class TestServiceUnderLoad:
+    def test_thousand_concurrent_requests_with_quotas_and_lossless_drain(self):
+        """The headline acceptance test, in one storm.
+
+        1200 requests fan in concurrently from four tenants.  Three
+        "paid" tenants have quota for everything they send; one "free"
+        tenant is capped at a 40-request burst with zero refill, so the
+        rest of its traffic must be rejected *typed*, never queued.
+        The service then drains mid-flight: every admitted request
+        completes, and the submitted/completed/rejected ledger balances
+        exactly.
+        """
+        paid = ["paid-a", "paid-b", "paid-c"]
+        per_paid = 360
+        free_total = 120
+        free_burst = 40
+        total = per_paid * len(paid) + free_total  # 1200 >= 1000
+        backend = ForcedSlowBackend(delay=0.002)
+        config = ServiceConfig(
+            workers=8,
+            max_queue_depth=total,  # global bound above the storm size
+            default_quota=TenantQuota(
+                rate=10_000.0, burst=per_paid, max_queued=total
+            ),
+            quotas={
+                "free": TenantQuota(rate=0.0, burst=free_burst, max_queued=total)
+            },
+            result_cache_size=0,  # force every admitted request to solve
+            program_cache_size=0,
+        )
+
+        async def storm():
+            outcomes = {"completed": 0, "rejected": 0}
+            rejected_by_tenant: dict[str, int] = {}
+            completed_by_tenant: dict[str, int] = {}
+
+            async def one_request(tenant: str):
+                request = SolveRequest(
+                    problem=two_var_env(),
+                    tenant=tenant,
+                    backends=[backend],
+                    use_cache=False,
+                )
+                try:
+                    outcome = await (await service.submit(request))
+                except AdmissionRejected as exc:
+                    assert exc.reason == "over-quota"
+                    outcomes["rejected"] += 1
+                    rejected_by_tenant[tenant] = rejected_by_tenant.get(tenant, 0) + 1
+                    return
+                assert outcome.solution.hard_satisfied
+                outcomes["completed"] += 1
+                completed_by_tenant[tenant] = completed_by_tenant.get(tenant, 0) + 1
+
+            async with SolveService(config) as service:
+                # Round-robin interleave so the free tenant competes with
+                # the paid tenants throughout the storm, not in a block.
+                remaining = {t: per_paid for t in paid}
+                remaining["free"] = free_total
+                rotation = paid + ["free"]
+                tenants = []
+                while len(tenants) < total:
+                    for tenant in rotation:
+                        if remaining[tenant] > 0:
+                            remaining[tenant] -= 1
+                            tenants.append(tenant)
+                await asyncio.gather(*(one_request(t) for t in tenants))
+                # Drain with the queue definitely empty of *new* work but
+                # potentially still finishing stragglers.
+                await service.drain()
+                stats = service.stats()
+            return outcomes, rejected_by_tenant, completed_by_tenant, stats
+
+        outcomes, rejected_by_tenant, completed_by_tenant, stats = asyncio.run(storm())
+
+        # Ledger balances exactly: nothing admitted was ever dropped.
+        assert outcomes["completed"] + outcomes["rejected"] == total
+        assert stats["completed"] == outcomes["completed"]
+        assert stats["queued"] == 0 and stats["in_flight"] == 0
+        assert backend.calls == outcomes["completed"]
+
+        # Every in-quota tenant completed everything it sent.
+        for tenant in paid:
+            assert completed_by_tenant.get(tenant, 0) == per_paid
+            assert tenant not in rejected_by_tenant
+
+        # The free tenant got exactly its burst, and typed rejections
+        # for the rest.
+        assert completed_by_tenant.get("free", 0) == free_burst
+        assert rejected_by_tenant.get("free", 0) == free_total - free_burst
+        assert stats["rejected"] == {"over-quota": free_total - free_burst}
+
+    def test_drain_mid_storm_loses_nothing(self):
+        """Drain while hundreds of jobs are queued and in flight.
+
+        Submissions race against the drain; whichever side of the door
+        each request lands on, it either completes or is rejected with
+        reason ``draining`` — the two tallies must cover every request.
+        """
+        backend = ForcedSlowBackend(delay=0.005)
+        config = ServiceConfig(
+            workers=4,
+            max_queue_depth=10_000,
+            default_quota=TenantQuota(rate=1e6, burst=10_000, max_queued=10_000),
+            result_cache_size=0,
+            program_cache_size=0,
+        )
+
+        async def scenario():
+            service = SolveService(config)
+            completed = 0
+            rejected = 0
+            async with service:
+                first_wave = [
+                    await service.submit(
+                        SolveRequest(
+                            problem=two_var_env(),
+                            tenant=f"t{i % 5}",
+                            backends=[backend],
+                            use_cache=False,
+                        )
+                    )
+                    for i in range(300)
+                ]
+                drain_task = asyncio.create_task(service.drain())
+                # Requests arriving during the drain get typed rejections.
+                await asyncio.sleep(0)
+                late_rejections = 0
+                for i in range(50):
+                    try:
+                        await service.submit(
+                            SolveRequest(problem=two_var_env(), tenant="late")
+                        )
+                    except AdmissionRejected as exc:
+                        assert exc.reason == "draining"
+                        late_rejections += 1
+                await drain_task
+                for fut in first_wave:
+                    outcome = await fut  # already resolved; must not raise
+                    assert outcome.solution.hard_satisfied
+                    completed += 1
+                rejected = late_rejections
+                stats = service.stats()
+            return completed, rejected, stats
+
+        completed, rejected, stats = asyncio.run(scenario())
+        assert completed == 300  # zero dropped in-flight jobs
+        assert rejected == 50
+        assert stats["queued"] == 0 and stats["in_flight"] == 0
+        assert stats["rejected"] == {"draining": 50}
