@@ -202,6 +202,7 @@ SOLVE_PROBLEMS = (
     "map-coloring",
     "exact-cover",
     "set-cover",
+    "redundant-cover",
     "3sat",
 )
 
@@ -216,6 +217,7 @@ def _build_problem(name: str, n: int, seed: int):
         MaxCut,
         MinSetCover,
         MinVertexCover,
+        RedundantCover,
         circulant_graph,
         vertex_scaling_graph,
     )
@@ -234,6 +236,8 @@ def _build_problem(name: str, n: int, seed: int):
         return ExactCover.random_satisfiable(n, n, rng)
     if name == "set-cover":
         return MinSetCover.from_exact_cover(ExactCover.random_satisfiable(n, n, rng))
+    if name == "redundant-cover":
+        return RedundantCover.random_satisfiable(n, max(3, n), rng)
     if name == "3sat":
         return KSat.random_3sat(n, max(1, int(1.7 * n)), rng)
     raise ValueError(f"unknown problem {name!r}")
@@ -338,6 +342,19 @@ def _configure_compile(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable template caching entirely (the ablation mode)",
     )
+    from .compile.encodings import encoding_modes
+
+    parser.add_argument(
+        "--encoding",
+        choices=encoding_modes(),
+        default="auto",
+        help=(
+            "per-constraint encoding selection: 'auto' keeps the default "
+            "penalty strategy (byte-identical), 'best' runs the verified "
+            "cost-model portfolio, a strategy name forces that encoding "
+            "where it applies"
+        ),
+    )
 
 
 def _compile(args) -> None:
@@ -351,6 +368,7 @@ def _compile(args) -> None:
             jobs=args.jobs,
             disk_cache=False if (args.no_disk_cache or args.no_cache) else None,
             cache_dir=None if args.no_cache else args.cache_dir,
+            encoding=args.encoding,
         )
     except ValueError as err:
         # Invalid option combinations (e.g. --no-cache with --jobs > 1)
@@ -379,6 +397,14 @@ def _compile(args) -> None:
         )
     else:
         print("         disk tier disabled")
+    if compiled.encoding_decisions:
+        from .analysis.encodings import encoding_diagnostics
+
+        print(f"encoding mode {compiled.encoding}, per-class decisions")
+        for decision in compiled.encoding_decisions:
+            print(f"  {decision.describe()}")
+        for finding in encoding_diagnostics(compiled.encoding_decisions):
+            print(f"  {finding.render()}")
 
 
 # ---------------------------------------------------------------------------

@@ -39,6 +39,7 @@ from .certify import (
     recheck_certificate,
 )
 from .codelint import CODE_RULES, lint_file, lint_package
+from .encodings import ENCODING_RULES, encoding_diagnostics
 from .diagnostics import (
     Diagnostic,
     RuleInfo,
@@ -58,6 +59,7 @@ __all__ = [
     "CertificationError",
     "ConstraintCertificate",
     "Diagnostic",
+    "ENCODING_RULES",
     "PROGRAM_RULES",
     "ProgramCertificate",
     "RuleInfo",
@@ -65,6 +67,7 @@ __all__ = [
     "certificate_diagnostics",
     "certify_program",
     "check_energy",
+    "encoding_diagnostics",
     "estimate_qubits",
     "exit_code",
     "filter_ignored",

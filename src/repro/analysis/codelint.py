@@ -59,6 +59,7 @@ DOCSTRING_MODULES: tuple[str, ...] = (
     "core/solution.py",
     "compile/program.py",
     "compile/cache.py",
+    "compile/encodings.py",
     "compile/pipeline/__init__.py",
     "compile/pipeline/base.py",
     "compile/pipeline/canonicalize.py",
@@ -83,6 +84,7 @@ DOCSTRING_MODULES: tuple[str, ...] = (
     "analysis/report.py",
     "analysis/cli.py",
     "analysis/certify.py",
+    "analysis/encodings.py",
     "service/__init__.py",
     "service/config.py",
     "service/admission.py",

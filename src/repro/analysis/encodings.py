@@ -1,0 +1,143 @@
+"""Encoding-decision audit: NCK5xx diagnostics over the portfolio.
+
+The encoding portfolio (:mod:`repro.compile.encodings`) records an
+:class:`~repro.compile.encodings.EncodingDecision` for every template
+class compiled under a non-``auto`` mode.  This module turns those
+records into :class:`~repro.analysis.diagnostics.Diagnostic` findings
+under the shared NCK namespace, so ``python -m repro compile`` reports
+and test suites can gate on them exactly like the program-lint
+(NCK1xx–3xx) and certification (NCK4xx) families:
+
+* **NCK501** — a non-default encoding was selected without passing the
+  hard-dominance verification gate.  The pipeline itself never does
+  this (selection is gated on
+  :func:`~repro.compile.synthesize.verify_constraint_qubo`), so a
+  finding means the decision records were constructed by hand or
+  tampered with post-compile.
+* **NCK502** — selection degraded a soft constraint's exact-GAP penalty
+  to an inexact one; soft-satisfaction counting becomes approximate and
+  the assembler compensates with a larger hard scale.
+* **NCK503** — a forced strategy won despite costing more than the
+  default candidate under the deterministic cost model; informational,
+  since forcing exists precisely to override the model.
+
+The rule catalog lives in ``docs/analysis.md``; REP302 keeps the codes
+here and the catalog there in sync bidirectionally.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, RuleInfo, Severity
+
+#: The NCK5xx rule family emitted by this module (catalog lives in
+#: ``docs/analysis.md``; REP302 keeps the two in sync).
+ENCODING_RULES: dict[str, RuleInfo] = {
+    r.code: r
+    for r in (
+        RuleInfo(
+            "NCK501",
+            "unverified encoding selected",
+            Severity.ERROR,
+            "a non-default encoding strategy was selected without a "
+            "passing hard-dominance verification",
+        ),
+        RuleInfo(
+            "NCK502",
+            "inexact soft encoding selected",
+            Severity.WARNING,
+            "the selected encoding gives a soft constraint an inexact "
+            "penalty where the default candidate was exact",
+        ),
+        RuleInfo(
+            "NCK503",
+            "costlier encoding forced",
+            Severity.INFO,
+            "a forced strategy won a class despite a higher cost-model "
+            "score than the default candidate",
+        ),
+    )
+}
+
+#: The default strategy name, mirrored from the compile layer so this
+#: module stays importable without it.
+_DEFAULT = "penalty"
+
+
+def encoding_diagnostics(decisions) -> list[Diagnostic]:
+    """Derive NCK5xx diagnostics from encoding-decision records.
+
+    ``decisions`` is an iterable of
+    :class:`~repro.compile.encodings.EncodingDecision` (typically
+    ``CompiledProgram.encoding_decisions``).  A pure function of the
+    stored score cards — no recompilation, no solver calls — so it can
+    audit deserialized or post-hoc decision records as well.
+    """
+    out: list[Diagnostic] = []
+    for decision in decisions:
+        label = "constraints[{}]".format(
+            ",".join(str(i) for i in decision.constraint_indices)
+        )
+        selected = decision.selected_summary
+        if selected is None:
+            continue
+        default = next(
+            (c for c in decision.candidates if c.strategy == _DEFAULT), None
+        )
+
+        if decision.selected != _DEFAULT and selected.verified is not True:
+            out.append(
+                Diagnostic(
+                    code="NCK501",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"encoding {decision.selected!r} was selected without "
+                        f"passing hard-dominance verification"
+                    ),
+                    source="encodings",
+                    obj=label,
+                    hint="selection must gate on verify_constraint_qubo",
+                )
+            )
+
+        if (
+            decision.selected != _DEFAULT
+            and decision.exact_required
+            and default is not None
+            and default.exact_penalty
+            and not selected.exact_penalty
+        ):
+            out.append(
+                Diagnostic(
+                    code="NCK502",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"encoding {decision.selected!r} replaces an exact-GAP "
+                        f"penalty with an inexact one"
+                    ),
+                    source="encodings",
+                    obj=label,
+                    hint=(
+                        "soft counting becomes approximate; the assembler "
+                        "compensates via hard_scale"
+                    ),
+                )
+            )
+
+        if (
+            decision.reason == "forced"
+            and default is not None
+            and selected.cost > default.cost
+        ):
+            out.append(
+                Diagnostic(
+                    code="NCK503",
+                    severity=Severity.INFO,
+                    message=(
+                        f"forced encoding {decision.selected!r} costs "
+                        f"{selected.cost:.3g} vs the default's {default.cost:.3g}"
+                    ),
+                    source="encodings",
+                    obj=label,
+                )
+            )
+    return out

@@ -6,8 +6,27 @@ assemble); :func:`compile_program` is the public entry point and
 ``docs/compiler.md`` the narrative description.
 """
 
-from .cache import QUBOCache, Template, build_template, instantiate_template, template_key
+from .cache import (
+    QUBOCache,
+    Template,
+    build_strategy_template,
+    build_template,
+    instantiate_template,
+    template_key,
+)
 from .closed_forms import closed_form_qubo
+from .encodings import (
+    DEFAULT_STRATEGY,
+    EncodingCandidate,
+    EncodingDecision,
+    EncodingStrategy,
+    encode_candidate,
+    encoding_cost,
+    encoding_modes,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+)
 from .pipeline import (
     CACHE_DIR_ENV,
     PassProvenance,
@@ -35,7 +54,11 @@ __all__ = [
     "ANCILLA_PREFIX",
     "ATOL",
     "CACHE_DIR_ENV",
+    "DEFAULT_STRATEGY",
     "CompiledProgram",
+    "EncodingCandidate",
+    "EncodingDecision",
+    "EncodingStrategy",
     "GAP",
     "MAX_ANCILLAS",
     "PassProvenance",
@@ -45,13 +68,20 @@ __all__ = [
     "Template",
     "TemplateStore",
     "TruthTable",
+    "build_strategy_template",
     "build_template",
     "build_truth_table",
     "closed_form_qubo",
     "compile_constraint",
     "compile_program",
+    "encode_candidate",
+    "encoding_cost",
+    "encoding_modes",
+    "get_strategy",
     "instantiate_template",
+    "register_strategy",
     "run_pipeline",
+    "strategy_names",
     "synthesize_constraint_qubo",
     "template_key",
     "verify_constraint_qubo",

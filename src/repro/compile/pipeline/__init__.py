@@ -226,17 +226,24 @@ def run_pipeline(env: "Env", config: PipelineConfig) -> "CompiledProgram":
         t0 = perf_counter()
         with telemetry.span("compile.pass.synthesize", jobs=config.jobs):
             outcome = synthesize(work, config, ancilla_namer, store)
+        synth_detail = {
+            "synthesized": outcome.synthesized,
+            "pooled": outcome.pooled,
+            "disk_hits": outcome.disk_hits,
+            "disk_misses": outcome.disk_misses,
+        }
+        if config.encoding != "auto":
+            synth_detail["encoding"] = config.encoding
+            synth_detail["candidates"] = outcome.candidates_scored
+            synth_detail["non_default"] = sum(
+                1 for d in outcome.decisions if d.selected != "penalty"
+            )
         provenance.append(
             PassProvenance(
                 name="synthesize",
                 wall_s=perf_counter() - t0,
                 items=len(work.items),
-                detail={
-                    "synthesized": outcome.synthesized,
-                    "pooled": outcome.pooled,
-                    "disk_hits": outcome.disk_hits,
-                    "disk_misses": outcome.disk_misses,
-                },
+                detail=synth_detail,
             )
         )
 
@@ -282,6 +289,8 @@ def run_pipeline(env: "Env", config: PipelineConfig) -> "CompiledProgram":
             cache_stats=cache_stats,
             soft_penalties_exact=fields["soft_penalties_exact"],
             provenance=tuple(provenance),
+            encoding=config.encoding,
+            encoding_decisions=outcome.decisions,
         )
         if config.certify:
             provenance.append(_certify_post_pass(env, compiled, config))

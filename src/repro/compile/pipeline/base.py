@@ -56,6 +56,18 @@ class PipelineConfig:
         compiled program and raises
         :class:`~repro.analysis.certify.CertificationError` on a
         ``fail`` verdict; it never changes the compiled QUBO.
+    encoding:
+        Per-constraint encoding selection mode (see
+        :mod:`repro.compile.encodings`): ``"auto"`` (the default) keeps
+        the default ``penalty`` strategy everywhere and synthesizes no
+        challengers — byte-identical, zero-overhead compilation;
+        ``"best"`` synthesizes every applicable strategy and picks the
+        cost-model winner, gated on hard-dominance verification; a
+        strategy name (``"penalty"``, ``"slack"``, ``"slack-free"``,
+        ``"closed-form"``) forces that strategy where it applies and
+        verifies, falling back to the default elsewhere.  Non-default
+        modes require ``cache=True`` (selection operates on template
+        classes).
     """
 
     cache: bool = True
@@ -65,11 +77,25 @@ class PipelineConfig:
     cache_dir: str | None = None
     lint: bool = True
     certify: bool = False
+    encoding: str = "auto"
 
     def __post_init__(self) -> None:
         """Reject invalid option combinations loudly and early."""
+        from ..encodings import encoding_modes
+
         if self.hard_scale is not None and self.hard_scale <= 0:
             raise ValueError("hard_scale must be positive")
+        if self.encoding not in encoding_modes():
+            known = ", ".join(encoding_modes())
+            raise ValueError(
+                f"unknown encoding {self.encoding!r} (choose from: {known})"
+            )
+        if self.encoding != "auto" and not self.cache:
+            raise ValueError(
+                "encoding != 'auto' requires cache=True: strategy selection "
+                "operates on deduplicated template classes, which cache=False "
+                "disables"
+            )
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise ValueError(f"jobs must be a positive integer, got {self.jobs!r}")
         if self.jobs > 1 and not self.cache:

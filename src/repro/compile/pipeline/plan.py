@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..closed_forms import closed_form_qubo
+from ..encodings import DEFAULT_STRATEGY, get_strategy, strategy_names
 from .base import PipelineConfig
 from .canonicalize import CanonicalProgram, ConstraintClass
 
@@ -37,11 +38,20 @@ TIERS = (TIER_CLOSED_FORM, TIER_LP, TIER_MILP)
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One template to synthesize: a class plus its advisory tier."""
+    """One template to synthesize: a class, its advisory tier, and the
+    encoding strategies competing for it.
+
+    ``strategies`` is the plan-time candidate stage of the encoding
+    portfolio: the default strategy always leads (the fallback of last
+    resort), followed by the challengers the config's encoding mode
+    admits — none under ``auto``, the forced strategy under a forced
+    mode, every applicable competing strategy under ``best``.
+    """
 
     position: int
     cls: ConstraintClass
     tier: str
+    strategies: tuple[str, ...] = (DEFAULT_STRATEGY,)
 
 
 @dataclass(frozen=True)
@@ -61,6 +71,10 @@ class SynthesisPlan:
         for item in self.items:
             counts[item.tier] += 1
         return counts
+
+    def candidate_count(self) -> int:
+        """Total (class × strategy) candidates planned across all items."""
+        return sum(len(item.strategies) for item in self.items)
 
     @property
     def parallelizable(self) -> tuple[WorkItem, ...]:
@@ -87,10 +101,47 @@ def classify(cls: ConstraintClass) -> str:
     return TIER_MILP
 
 
+def candidate_strategies(cls: ConstraintClass, encoding: str) -> tuple[str, ...]:
+    """The encoding strategies competing for one template class.
+
+    The default strategy always leads: it is the fallback of last resort
+    and the stable tie-break winner.  ``auto`` admits no challengers
+    (zero-overhead, byte-identical compilation); a forced strategy name
+    adds that strategy where it structurally applies; ``best`` adds every
+    applicable competing strategy.  Direct (uncached) classes never
+    compete — selection operates on template classes only.
+    """
+    if encoding == "auto" or cls.direct:
+        return (DEFAULT_STRATEGY,)
+    representative = cls.representative
+    exact = cls.exact_penalty
+    if encoding == "best":
+        names = strategy_names(competing_only=True)
+    else:
+        names = (encoding,)
+    challengers = tuple(
+        name
+        for name in names
+        if name != DEFAULT_STRATEGY
+        and get_strategy(name).applies(representative, exact)
+    )
+    return (DEFAULT_STRATEGY,) + challengers
+
+
 def plan(program: CanonicalProgram, config: PipelineConfig) -> SynthesisPlan:
-    """Run pass 2: classify every class into an ordered work-list."""
+    """Run pass 2: classify every class into an ordered work-list.
+
+    Under a non-``auto`` encoding mode each work item also carries its
+    candidate strategies — the plan-time candidate stage of the encoding
+    portfolio.
+    """
     items = tuple(
-        WorkItem(position=i, cls=cls, tier=classify(cls))
+        WorkItem(
+            position=i,
+            cls=cls,
+            tier=classify(cls),
+            strategies=candidate_strategies(cls, config.encoding),
+        )
         for i, cls in enumerate(program.classes)
     )
     return SynthesisPlan(program=program, items=items)

@@ -37,18 +37,23 @@ from ..cache import Template
 
 #: Bump whenever the on-disk payload layout or the synthesized-template
 #: semantics change; mismatched entries are discarded and resynthesized.
-SCHEMA_VERSION = 1
+#: Version 2 added the encoding-strategy identity to both the key payload
+#: and the template fields (the encoding portfolio).
+SCHEMA_VERSION = 2
 
 _SLOT_OR_ANC = re.compile(r"_slot\d+$|_tanc\d+$")
+
+_STRATEGY_NAME = re.compile(r"^[a-z][a-z0-9-]*$")
 
 
 def _key_payload(key: tuple) -> dict:
     """JSON-friendly form of a template key, echoed into each entry."""
-    (multiplicities, selection), exact_penalty = key
+    (multiplicities, selection), exact_penalty, strategy = key
     return {
         "multiplicities": list(multiplicities),
         "selection": list(selection),
         "exact_penalty": bool(exact_penalty),
+        "strategy": str(strategy),
     }
 
 
@@ -214,6 +219,7 @@ class TemplateStore:
             "num_ancillas": template.num_ancillas,
             "used_closed_form": template.used_closed_form,
             "exact_penalty": template.exact_penalty,
+            "strategy": template.strategy,
         }
 
     @staticmethod
@@ -247,9 +253,17 @@ class TemplateStore:
             exact_penalty, bool
         ):
             raise ValueError("bad template flags")
+        strategy = payload["strategy"]
+        if not isinstance(strategy, str) or not _STRATEGY_NAME.match(strategy):
+            raise ValueError(f"bad template strategy: {strategy!r}")
+        if strategy != key[2]:
+            raise ValueError(
+                f"template strategy {strategy!r} does not match key {key[2]!r}"
+            )
         return Template(
             qubo=qubo,
             num_ancillas=num_ancillas,
             used_closed_form=used_closed_form,
             exact_penalty=exact_penalty,
+            strategy=strategy,
         )

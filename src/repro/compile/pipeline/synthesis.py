@@ -34,8 +34,15 @@ from typing import Callable, Mapping
 
 from ... import telemetry
 from ...core.types import Constraint
-from ..cache import Template, build_template
-from ..synthesize import SynthesisResult, synthesize_constraint_qubo
+from ..cache import ANC, Template, build_strategy_template, build_template
+from ..encodings import (
+    DEFAULT_STRATEGY,
+    EncodingCandidate,
+    EncodingDecision,
+    score_fragment,
+    select_candidate,
+)
+from ..synthesize import SynthesisResult, synthesize_constraint_qubo, verify_constraint_qubo
 from .base import PipelineConfig
 from .plan import TIER_MILP, SynthesisPlan, WorkItem
 from .store import TemplateStore
@@ -72,6 +79,12 @@ class SynthesisOutcome:
     disk_errors: int = 0
     synthesized: int = 0
     pooled: int = 0
+    #: Per-class :class:`~repro.compile.encodings.EncodingDecision`
+    #: records, in work-list order.  Empty under ``encoding="auto"`` —
+    #: the zero-overhead default runs no portfolio at all.
+    decisions: tuple = ()
+    #: Total (class × strategy) candidates scored by the portfolio.
+    candidates_scored: int = 0
 
 
 def _replicate_worker_telemetry(template: Template) -> None:
@@ -187,8 +200,128 @@ def synthesize(
     if store is not None:
         for item in pending:
             store.store(item.cls.key, outcome.templates[item.cls.key])
+
+    # The encoding portfolio: score challenger strategies against the
+    # default template and swap in verified cost-model winners.  Never
+    # entered under encoding="auto" (every item has one strategy).
+    if config.encoding != "auto":
+        _run_portfolio(plan, config, outcome, store)
+
+    if store is not None:
         outcome.disk_hits = store.hits
         outcome.disk_misses = store.misses
         outcome.disk_errors = store.errors
 
     return outcome
+
+
+def _template_result(template: Template) -> SynthesisResult:
+    """A template's fragment as a slot/ancilla-named synthesis result."""
+    return SynthesisResult(
+        qubo=template.qubo,
+        ancillas=tuple(ANC.format(i) for i in range(template.num_ancillas)),
+        used_closed_form=template.used_closed_form,
+        exact_penalty=template.exact_penalty,
+    )
+
+
+def _score_template(
+    item: WorkItem, template: Template, strategy: str, verified: bool | None, source: str
+) -> EncodingCandidate:
+    """Score one resolved template into an encoding candidate."""
+    return score_fragment(
+        strategy=strategy,
+        qubo=template.qubo,
+        ancillas=tuple(ANC.format(i) for i in range(template.num_ancillas)),
+        num_variables=len(item.cls.representative.collection.unique),
+        exact_penalty=template.exact_penalty,
+        used_closed_form=template.used_closed_form,
+        verified=verified,
+        source=source,
+    )
+
+
+def _strategy_key(class_key: tuple, strategy: str) -> tuple:
+    """The template key of ``strategy``'s entry for a class.
+
+    Class keys carry the default strategy (canonicalization uses
+    :func:`~repro.compile.cache.template_key`'s default); challengers
+    live under the same symmetry class with the strategy swapped in.
+    """
+    return class_key[:2] + (strategy,)
+
+
+def _run_portfolio(
+    plan: SynthesisPlan,
+    config: PipelineConfig,
+    outcome: SynthesisOutcome,
+    store: TemplateStore | None,
+) -> None:
+    """Resolve, score, verify, and select per-class encoding candidates.
+
+    For every work item the default template (already resolved on the
+    byte-identical path above) is scored alongside each planned
+    challenger strategy's template — loaded from the disk store under the
+    strategy's own key or synthesized fresh.  Challengers must pass the
+    exhaustive/symmetric hard-dominance check
+    (:func:`~repro.compile.synthesize.verify_constraint_qubo`) to be
+    eligible; the winner replaces the class's template and the full
+    scored field is recorded as an
+    :class:`~repro.compile.encodings.EncodingDecision`.
+    """
+    decisions = []
+    for item in plan.items:
+        default_template = outcome.templates[item.cls.key]
+        candidates = [
+            _score_template(item, default_template, DEFAULT_STRATEGY, None, "default")
+        ]
+        templates = {DEFAULT_STRATEGY: default_template}
+        for strategy in item.strategies:
+            if strategy == DEFAULT_STRATEGY:
+                continue
+            skey = _strategy_key(item.cls.key, strategy)
+            source = "disk"
+            template = store.load(skey) if store is not None else None
+            if template is None:
+                source = "synthesized"
+                template = build_strategy_template(
+                    item.cls.representative, item.cls.exact_penalty, strategy
+                )
+                if template is None:
+                    continue
+                outcome.synthesized += 1
+                if store is not None:
+                    store.store(skey, template)
+            verified = verify_constraint_qubo(
+                item.cls.representative, _template_result(template)
+            )
+            status = "verified" if verified else "rejected"
+            telemetry.count(f"compile.encoding.{status}")
+            templates[strategy] = template
+            candidates.append(
+                _score_template(item, template, strategy, verified, source)
+            )
+
+        outcome.candidates_scored += len(candidates)
+        telemetry.count("compile.encoding.candidates", len(candidates))
+        winner, reason = select_candidate(
+            candidates, config.encoding, exact_required=item.cls.exact_penalty
+        )
+        if winner.strategy != DEFAULT_STRATEGY:
+            outcome.templates[item.cls.key] = templates[winner.strategy]
+        telemetry.count("compile.encoding.selected")
+        winner_slug = winner.strategy.replace("-", "_")
+        telemetry.count(f"compile.encoding.selected.{winner_slug}")
+        if reason.startswith("fallback"):
+            telemetry.count("compile.encoding.fallback")
+        decisions.append(
+            EncodingDecision(
+                constraint_indices=tuple(m.index for m in item.cls.members),
+                mode=config.encoding,
+                selected=winner.strategy,
+                reason=reason,
+                candidates=tuple(c.summary() for c in candidates),
+                exact_required=item.cls.exact_penalty,
+            )
+        )
+    outcome.decisions = tuple(decisions)

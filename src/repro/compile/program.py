@@ -91,6 +91,15 @@ class CompiledProgram:
     soft_penalties_exact: bool = True
     provenance: tuple = ()
     certificate: object = None
+    #: The encoding selection mode this program was compiled under (see
+    #: :mod:`repro.compile.encodings`): ``"auto"``, ``"best"``, or a
+    #: forced strategy name.
+    encoding: str = "auto"
+    #: Per-constraint-class :class:`~repro.compile.encodings.EncodingDecision`
+    #: records in work-list order — the portfolio's full provenance
+    #: (every scored candidate plus the selection reason).  Empty under
+    #: ``encoding="auto"``, where no portfolio runs.
+    encoding_decisions: tuple = ()
 
     @property
     def all_variables(self) -> tuple[str, ...]:
@@ -143,6 +152,7 @@ def compile_program(
     cache_dir: str | None = None,
     lint: bool = True,
     certify: bool = False,
+    encoding: str = "auto",
 ) -> CompiledProgram:
     """Compile ``env``'s program to a QUBO.
 
@@ -178,6 +188,14 @@ def compile_program(
         compositionally, attaches the certificate to the returned
         program, and raises on a ``fail`` verdict.  Never changes the
         compiled QUBO.
+    encoding:
+        Per-constraint encoding selection (see
+        :mod:`repro.compile.encodings`): ``"auto"`` (default) keeps the
+        default penalty strategy everywhere — byte-identical,
+        zero-overhead; ``"best"`` runs the cost-model portfolio with
+        verification-gated selection; a strategy name (``"penalty"``,
+        ``"slack"``, ``"slack-free"``, ``"closed-form"``) forces that
+        strategy where it applies and verifies.
 
     Raises
     ------
@@ -201,6 +219,7 @@ def compile_program(
         cache_dir=cache_dir,
         lint=lint,
         certify=certify,
+        encoding=encoding,
     )
     return run_pipeline(env, config)
 

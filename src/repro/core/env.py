@@ -207,6 +207,7 @@ class Env:
         cache_dir: str | None = None,
         lint: bool = True,
         certify: bool = False,
+        encoding: str = "auto",
     ) -> "QUBO":
         """Compile the whole program to a QUBO (Section V).
 
@@ -217,9 +218,11 @@ class Env:
         count for MILP-bound synthesis, ``disk_cache`` / ``cache_dir``
         control the persistent on-disk template store, ``lint``
         (default on) runs the program-linter pre-pass whose errors abort
-        compilation, and ``certify`` (default off) runs the
+        compilation, ``certify`` (default off) runs the
         certification post-pass that proves hard dominance and soft
-        fidelity of the compiled artifact.  Unknown or contradictory
+        fidelity of the compiled artifact, and ``encoding`` selects the
+        per-constraint encoding portfolio mode (``"auto"``, ``"best"``,
+        or a forced strategy name).  Unknown or contradictory
         options raise ``ValueError`` up front.
         """
         from ..compile.program import compile_program
@@ -233,6 +236,7 @@ class Env:
             cache_dir=cache_dir,
             lint=lint,
             certify=certify,
+            encoding=encoding,
         )
 
     def solve(self, backend=None, **kwargs) -> "Solution":

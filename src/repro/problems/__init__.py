@@ -12,6 +12,7 @@ from .graphs import (
 from .ksat import KSat
 from .map_coloring import MapColoring
 from .max_cut import MaxCut
+from .redundant_cover import RedundantCover
 from .set_cover import MinSetCover
 from .vertex_cover import MinVertexCover
 
@@ -24,6 +25,7 @@ __all__ = [
     "MinSetCover",
     "MinVertexCover",
     "ProblemInstance",
+    "RedundantCover",
     "TableRow",
     "circulant_graph",
     "edge_scaling_graph",

@@ -35,10 +35,13 @@ KNOWN_SPAN_PREFIXES: frozenset[str] = frozenset(
 #: sparse/batched numeric core's kernel-path counters
 #: (``anneal.sparse.*``), fused multi-program job metrics
 #: (``anneal.batch.*``, ``runtime.batch.*`` — see ``docs/numerics.md``),
-#: and the solve-service request path (``service.admission.*`` decision
+#: the solve-service request path (``service.admission.*`` decision
 #: counters, ``service.cache.*`` memoization outcomes,
 #: ``service.tenant.*`` per-tenant latency histograms — see
-#: ``docs/service.md``).  REP301 validates prefixes; this registry is
+#: ``docs/service.md``), and the encoding portfolio's candidate/selection
+#: counters (``compile.encoding.*`` — per-strategy candidate counts,
+#: verification outcomes, and selection results; see
+#: ``docs/encodings.md``).  REP301 validates prefixes; this registry is
 #: the documented home for the families so dashboards and
 #: ``docs/observability.md`` stay in sync.
 KNOWN_NAME_FAMILIES: frozenset[str] = frozenset(
@@ -49,6 +52,7 @@ KNOWN_NAME_FAMILIES: frozenset[str] = frozenset(
         "service.admission",
         "service.cache",
         "service.tenant",
+        "compile.encoding",
     }
 )
 

@@ -13,6 +13,7 @@ from repro.problems import (
     MaxCut,
     MinSetCover,
     MinVertexCover,
+    RedundantCover,
     edge_scaling_graph,
     vertex_scaling_graph,
 )
@@ -213,6 +214,55 @@ class TestMinSetCover:
         assignment = {msc.var(i): chosen.get(msc.var(i), False) for i in range(4)}
         assert msc.verify(assignment)
         assert msc.objective(assignment) == 2
+
+
+class TestRedundantCover:
+    def test_random_instances_satisfiable(self, rng):
+        for _ in range(3):
+            inst = RedundantCover.random_satisfiable(5, 6, rng)
+            everything = {inst.var(i): True for i in range(len(inst.subsets))}
+            assert inst.verify(everything)
+            sol = inst.build_env().solve()
+            assert inst.verify(sol.assignment)
+            assert inst.objective(sol.assignment) <= len(inst.subsets)
+
+    def test_verify_enforces_multiplicity(self):
+        # Element 0 needs 2 covers; one subset is not enough.
+        inst = RedundantCover(
+            1, (frozenset({0}), frozenset({0}), frozenset({0})), (2,)
+        )
+        assert inst.verify({"s000": True, "s001": True, "s002": False})
+        assert not inst.verify({"s000": True, "s001": False, "s002": False})
+
+    def test_demand_exceeding_coverage_rejected(self):
+        with pytest.raises(ValueError, match="only"):
+            RedundantCover(1, (frozenset({0}),), (2,))
+
+    def test_demand_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one demand per element"):
+            RedundantCover(2, (frozenset({0, 1}), frozenset({0, 1})), (1,))
+
+    def test_handmade_qubo_ground_is_minimum_redundant_cover(self):
+        # Element 0 in subsets {0,1,2} needing 2 covers: optimum is 2.
+        inst = RedundantCover(
+            1, (frozenset({0}), frozenset({0}), frozenset({0})), (2,)
+        )
+        _, a = ExactQUBOSolver().solve(inst.handmade_qubo())
+        assignment = {inst.var(i): bool(a.get(inst.var(i), False)) for i in range(3)}
+        assert inst.verify(assignment)
+        assert inst.objective(assignment) == 2
+        assert inst.optimal_cover_size() == 2
+
+    def test_generated_matches_handmade(self, rng):
+        inst = RedundantCover.random_satisfiable(4, 5, rng)
+        _, a = ExactQUBOSolver().solve(inst.handmade_qubo())
+        assignment = {
+            inst.var(i): bool(a.get(inst.var(i), False))
+            for i in range(len(inst.subsets))
+        }
+        assert inst.verify(assignment)
+        sol = inst.build_env().solve()
+        assert inst.objective(sol.assignment) == inst.objective(assignment)
 
 
 class TestKSat:
