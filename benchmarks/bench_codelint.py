@@ -1,0 +1,113 @@
+"""Codebase lint: warm incremental cache vs cold whole-package analysis.
+
+Self-lints ``src/repro`` through ``repro.analysis.codelint.analyze_package``
+and times the two extremes of the incremental layer
+(``repro.analysis.lintcache``):
+
+* **cold** — an empty cache directory: every module pays
+  ``ast.parse`` + the syntactic REP rules + dataflow summary
+  extraction;
+* **warm** — the identical tree re-analyzed: every per-file fingerprint
+  hits, so the run only rebuilds the (cheap) call graph and re-runs the
+  REP5xx flow pass over cached summaries.
+
+The headline claim is the warm/cold ratio — the gate below asserts the
+**≥5× floor** the cache was built for — and the warm findings must be
+*byte-identical* to the cold ones (the summaries-only rule contract:
+cached and freshly parsed modules are indistinguishable to the rules).
+
+Results land in ``BENCH_codelint.json`` for trend tracking.  Set
+``REPRO_BENCH_SMOKE=1`` (as ``make bench-smoke`` does) for fewer
+repeats.
+
+Benchmarks the warm all-hits package analysis as the kernel.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.analysis.codelint import analyze_package
+from repro.analysis.lintcache import LintCache
+
+from conftest import banner
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+OUTPUT = "BENCH_codelint.json"
+
+#: Timed repetitions per path (cold runs re-parse the whole package, so
+#: the cold loop is shorter).
+COLD_REPEATS = 2 if SMOKE else 5
+WARM_REPEATS = 10 if SMOKE else 25
+
+#: The acceptance floor on warm/cold speedup.
+SPEEDUP_FLOOR = 5.0
+
+
+def _findings_bytes(result) -> bytes:
+    """A canonical byte serialization of a run's findings."""
+    return json.dumps(
+        [d.to_dict() for d in result.diagnostics], sort_keys=True
+    ).encode()
+
+
+def test_warm_cache_vs_cold_analysis(benchmark, tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("lintcache")
+
+    # Cold: a fresh cache directory per repetition — every file misses.
+    cold_s = []
+    for rep in range(COLD_REPEATS):
+        cache = LintCache(cache_root / f"cold{rep}")
+        t0 = time.perf_counter()
+        cold = analyze_package(cache=cache)
+        cold_s.append(time.perf_counter() - t0)
+        assert cache.hits == 0 and cache.misses == len(cold.changed) > 0
+
+    # Warm: one priming run, then every repetition is all hits.
+    warm_dir = cache_root / "warm"
+    analyze_package(cache=LintCache(warm_dir))
+    warm_s = []
+    for _ in range(WARM_REPEATS):
+        cache = LintCache(warm_dir)
+        t0 = time.perf_counter()
+        warm = analyze_package(cache=cache)
+        warm_s.append(time.perf_counter() - t0)
+        assert cache.misses == 0 and cache.hits > 0
+        assert warm.changed == []
+
+    # Byte-identical findings: the cache may only change the time.
+    assert _findings_bytes(warm) == _findings_bytes(cold)
+
+    cold_ms = 1e3 * min(cold_s)
+    warm_ms = 1e3 * min(warm_s)
+    speedup = cold_ms / warm_ms
+    files = len(cold.graph.modules)
+
+    banner("CODEBASE LINT — warm incremental cache vs cold analysis")
+    print(f"{'files':>6} {'cold_ms':>9} {'warm_ms':>9} {'speedup':>9}")
+    print(f"{files:>6} {cold_ms:>9.1f} {warm_ms:>9.2f} {speedup:>8.1f}x")
+    print(f"\nwarm/cold speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm lint only {speedup:.1f}x faster than cold; "
+        f"the incremental cache should clear {SPEEDUP_FLOOR:.0f}x"
+    )
+
+    with open(OUTPUT, "w") as fh:
+        json.dump(
+            {
+                "smoke": SMOKE,
+                "floor": SPEEDUP_FLOOR,
+                "files": files,
+                "cold_ms": cold_ms,
+                "warm_ms": warm_ms,
+                "speedup": speedup,
+            },
+            fh,
+            indent=2,
+        )
+    print(f"results written to {OUTPUT}")
+
+    # Kernel: one warm all-hits package analysis.
+    benchmark(lambda: analyze_package(cache=LintCache(warm_dir)))

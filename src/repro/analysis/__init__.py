@@ -13,7 +13,12 @@ model and one reporting layer:
   rules over ``src/repro`` (docstring presence/coverage, unseeded RNG,
   naked ``except:``, mutable defaults, telemetry-name registry,
   diagnostic-code catalog drift, ``__all__`` drift), honoring per-line
-  ``# nck: noqa[CODE]`` suppressions.
+  ``# nck: noqa[CODE]`` and file-level ``# nck: noqa-file[CODE]``
+  suppressions.  Its REP5xx concurrency rules run over the whole-package
+  dataflow graph built by :mod:`repro.analysis.flow` (rule bodies in
+  :mod:`repro.analysis.flowrules`), with incremental on-disk caching,
+  parallel cold analysis, and the CI baseline ratchet in
+  :mod:`repro.analysis.lintcache`.
 * :mod:`repro.analysis.certify` — the **certification engine**:
   post-compile compositional proofs over a
   :class:`~repro.compile.program.CompiledProgram` (per-constraint
@@ -38,8 +43,23 @@ from .certify import (
     check_energy,
     recheck_certificate,
 )
-from .codelint import CODE_RULES, lint_file, lint_package
+from .codelint import (
+    CODE_RULES,
+    PackageLintResult,
+    analyze_package,
+    lint_file,
+    lint_package,
+)
 from .encodings import ENCODING_RULES, encoding_diagnostics
+from .flow import FlowGraph, ModuleSummary, build_graph, summarize_module
+from .flowrules import FLOW_RULES, run_flow_rules
+from .lintcache import (
+    Baseline,
+    LintCache,
+    apply_baseline,
+    default_cache_dir,
+    load_baseline,
+)
 from .diagnostics import (
     Diagnostic,
     RuleInfo,
@@ -53,6 +73,7 @@ from .program import PROGRAM_RULES, estimate_qubits, lint_program
 from .report import render_json, render_text
 
 __all__ = [
+    "Baseline",
     "CERTIFY_RULES",
     "CODE_RULES",
     "CertificateStore",
@@ -60,13 +81,22 @@ __all__ = [
     "ConstraintCertificate",
     "Diagnostic",
     "ENCODING_RULES",
+    "FLOW_RULES",
+    "FlowGraph",
+    "LintCache",
+    "ModuleSummary",
     "PROGRAM_RULES",
+    "PackageLintResult",
     "ProgramCertificate",
     "RuleInfo",
     "Severity",
+    "analyze_package",
+    "apply_baseline",
+    "build_graph",
     "certificate_diagnostics",
     "certify_program",
     "check_energy",
+    "default_cache_dir",
     "encoding_diagnostics",
     "estimate_qubits",
     "exit_code",
@@ -75,8 +105,11 @@ __all__ = [
     "lint_file",
     "lint_package",
     "lint_program",
+    "load_baseline",
     "recheck_certificate",
     "render_json",
     "render_text",
+    "run_flow_rules",
     "severity_counts",
+    "summarize_module",
 ]

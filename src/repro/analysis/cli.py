@@ -7,7 +7,14 @@
     and ``compile`` use) and run the program linter over its ``Env``.
 
 ``python -m repro lint --self``
-    Run the codebase lint engine over the installed ``repro`` package.
+    Run the codebase lint engine over the installed ``repro`` package:
+    the per-module REP1xx–4xx rules plus the REP5xx concurrency
+    dataflow rules, with incremental on-disk caching (``--cache-dir``,
+    ``--no-cache``), parallel cold analysis (``--jobs``), a
+    changed-files-plus-dependents report filter (``--changed``), SARIF
+    export (``--sarif``), and the CI baseline ratchet (``--baseline``:
+    baselined findings are reported but do not gate, new findings fail,
+    fixed-but-still-listed entries fail until removed).
 
 ``python -m repro certify <problem> [--n N] [--out FILE]`` compiles the
 same instance and runs the compositional certification engine
@@ -31,7 +38,7 @@ import argparse
 import json
 
 from .diagnostics import Severity, exit_code, gate
-from .report import JSON_SCHEMA_VERSION, render_json, render_text
+from .report import JSON_SCHEMA_VERSION, render_json, render_sarif, render_text
 
 
 def configure_lint(parser: argparse.ArgumentParser) -> None:
@@ -53,14 +60,52 @@ def configure_lint(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--n", type=int, default=12, help="instance size (nodes/elements/variables)"
     )
-    parser.add_argument(
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument(
         "--json", action="store_true", help="emit the JSON report envelope"
+    )
+    fmt.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit a SARIF 2.1.0 log for code-scanning consumers",
     )
     parser.add_argument(
         "--min-severity",
         choices=[str(s) for s in Severity],
         default="info",
         help="hide findings below this severity (also gates the exit code)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="with --self: report only findings in files the incremental "
+        "cache re-analyzed plus their call-graph dependents",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="ratchet against FILE (lint-baseline.json): baselined findings "
+        "are reported without gating; new and stale ones fail",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="lint-cache directory for --self (default: REPRO_CACHE_DIR or "
+        "~/.cache/repro/codelint)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk lint cache for this run (always cold)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze cold files across N worker processes",
     )
     parser.add_argument(
         "--hard-scale",
@@ -78,18 +123,45 @@ def configure_lint(parser: argparse.ArgumentParser) -> None:
 
 def run_lint(args: argparse.Namespace) -> int:
     """Run the requested analyzer and return the process exit code."""
-    if args.self_lint == (args.problem is not None):
-        import sys
+    import sys
 
+    if args.self_lint == (args.problem is not None):
         print(
             "repro lint: error: name a problem or pass --self (not both)",
             file=sys.stderr,
         )
         raise SystemExit(2)
+    if args.changed and not args.self_lint:
+        print(
+            "repro lint: error: --changed requires --self",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    changed_note: str | None = None
     if args.self_lint:
-        from .codelint import lint_package
+        from .codelint import analyze_package
+        from .lintcache import LintCache
 
-        diagnostics = lint_package()
+        cache = None if args.no_cache else LintCache(args.cache_dir)
+        result = analyze_package(cache=cache, jobs=args.jobs)
+        diagnostics = result.diagnostics
+        if args.changed:
+            graph = result.graph
+            affected_files = {
+                module.display_path
+                for module in graph.modules.values()
+                if module.modname in result.affected
+            }
+            diagnostics = [
+                d
+                for d in diagnostics
+                if d.file is None or d.file in affected_files
+            ]
+            changed_note = (
+                f"changed: {len(result.changed)} file(s) re-analyzed, "
+                f"{len(result.affected)} module(s) affected (with "
+                "call-graph dependents)"
+            )
     else:
         from ..__main__ import _build_problem
         from .program import lint_program
@@ -100,9 +172,44 @@ def run_lint(args: argparse.Namespace) -> int:
             hard_scale=args.hard_scale,
             qubit_budget=args.qubit_budget,
         )
+
+    baselined = []
+    if args.baseline:
+        from .lintcache import apply_baseline, load_baseline
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as err:
+            print(f"repro lint: error: {err}", file=sys.stderr)
+            raise SystemExit(2) from None
+        gating, baselined, stale = apply_baseline(diagnostics, baseline)
+        diagnostics = gating + stale
+
     minimum = Severity.parse(args.min_severity)
-    render = render_json if args.json else render_text
-    print(render(diagnostics, minimum=minimum))
+    if args.sarif:
+        from .codelint import CODE_RULES
+        from .program import PROGRAM_RULES
+
+        print(
+            render_sarif(
+                diagnostics,
+                minimum=minimum,
+                rules={**PROGRAM_RULES, **CODE_RULES},
+            )
+        )
+    elif args.json:
+        print(render_json(diagnostics, minimum=minimum))
+    else:
+        if changed_note is not None:
+            print(changed_note)
+        print(render_text(diagnostics, minimum=minimum))
+        if baselined:
+            print(
+                f"baselined (reported, not gating): {len(baselined)} "
+                f"finding(s) tolerated by {args.baseline}"
+            )
+            for diag in baselined:
+                print(f"  {diag.render()}")
     return exit_code(gate(diagnostics, minimum))
 
 

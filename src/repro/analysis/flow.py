@@ -1,0 +1,994 @@
+"""Cross-module dataflow over the package's ASTs (the REP5xx substrate).
+
+The syntactic rules in :mod:`repro.analysis.codelint` see one AST node
+at a time; the concurrency defects that matter to the solve service —
+blocking calls inside coroutines, coroutines created but never awaited,
+lock-order inversions, non-picklable process-pool submissions, state
+shared across execution contexts — are *dataflow* properties of the
+whole package.  This module builds that dataflow picture in three
+layers:
+
+1. **Module summaries** (:class:`ModuleSummary`): one pass over each
+   parsed module extracts every fact the flow rules need — the import
+   table, the defined functions/classes, every call site (with its
+   receiver shape), executor submissions, lock acquisitions and their
+   nesting, and mutations of instance/module state.  Summaries are
+   plain JSON-serializable data: the incremental cache
+   (:mod:`repro.analysis.lintcache`) persists them, and the flow rules
+   in :mod:`repro.analysis.flowrules` consume *only* summaries — never
+   ASTs — so warm (cached) and cold runs produce identical findings by
+   construction.
+2. **The call graph** (:class:`FlowGraph`): summaries are linked by
+   resolving call references through import tables (including one-level
+   re-exports like ``repro.telemetry``'s), giving edges between
+   function ids of the form ``"service.scheduler::JobScheduler._pop"``,
+   each colored async/sync.
+3. **Context propagation**: execution contexts — ``event-loop`` (an
+   ``async def`` body and everything it calls inline), ``thread-worker``
+   and ``process-worker`` (functions handed to an executor) — are seeded
+   and propagated forward through plain call edges.  Submission edges
+   (``pool.submit(fn)``, ``executor.run(fn, mode=...)``,
+   ``loop.run_in_executor(None, fn)``, ``asyncio.to_thread(fn)``) do
+   *not* propagate the caller's context; they seed the submitted
+   function with the pool's context instead — that hop is exactly what
+   rule REP501 treats as the legal way off the event loop.
+
+The engine is deliberately conservative: unresolvable receivers create
+no edges, so rules fire only on facts the summaries actually witness.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .. import telemetry
+
+__all__ = [
+    "ENGINE_VERSION",
+    "CTX_LOOP",
+    "CTX_THREAD",
+    "CTX_PROCESS",
+    "ModuleSummary",
+    "FunctionSummary",
+    "FlowGraph",
+    "summarize_module",
+    "build_graph",
+]
+
+#: Version of the summary schema *and* the flow-rule semantics; part of
+#: every cache fingerprint, so bumping it invalidates all cached
+#: analyses at once.
+ENGINE_VERSION = 1
+
+#: Execution contexts propagated through the call graph.
+CTX_LOOP = "event-loop"
+CTX_THREAD = "thread-worker"
+CTX_PROCESS = "process-worker"
+
+#: Constructor names whose instance/module bindings are lock objects
+#: (for REP503 ordering and REP505 protection).
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Attribute names that mutate their receiver in place (REP505).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "appendleft",
+        "clear",
+        "update",
+        "setdefault",
+    }
+)
+
+#: Submission method names: ``<recv>.NAME(fn, ...)`` hands ``fn`` to a
+#: pool.  ``run`` covers :meth:`HybridExecutor.run`; plain calls named
+#: ``run`` with a non-callable first argument (``subprocess.run("ls")``,
+#: ``fig7.run()``) are excluded because the first positional argument
+#: must *look like* a function reference (a bare name or attribute).
+_SUBMIT_METHODS = frozenset({"submit", "run", "apply_async"})
+
+#: Methods that are constructor-free init hooks; mutations there happen
+#: before the object is shared, so REP505 ignores them.
+INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__init_subclass__"})
+
+
+# ---------------------------------------------------------------------------
+# Summary data model (everything JSON-round-trippable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionSummary:
+    """Per-function facts extracted from one AST pass.
+
+    ``qual`` is the in-module qualname (``JobScheduler._pop``); ``cls``
+    its owning class, if any; ``nested`` marks functions defined inside
+    another function (closures — unpicklable when submitted to a
+    process pool).  The fact lists hold plain dicts, shaped as
+    documented on :func:`summarize_module`, so the whole summary
+    serializes with ``json.dumps`` untouched.
+    """
+
+    qual: str
+    cls: str | None = None
+    is_async: bool = False
+    nested: bool = False
+    lineno: int = 0
+    calls: list[dict] = field(default_factory=list)
+    submissions: list[dict] = field(default_factory=list)
+    acquisitions: list[dict] = field(default_factory=list)
+    nested_locks: list[dict] = field(default_factory=list)
+    calls_under_lock: list[dict] = field(default_factory=list)
+    mutations: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping."""
+        return {
+            "qual": self.qual,
+            "cls": self.cls,
+            "is_async": self.is_async,
+            "nested": self.nested,
+            "lineno": self.lineno,
+            "calls": self.calls,
+            "submissions": self.submissions,
+            "acquisitions": self.acquisitions,
+            "nested_locks": self.nested_locks,
+            "calls_under_lock": self.calls_under_lock,
+            "mutations": self.mutations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionSummary":
+        """Rebuild from :meth:`to_dict` output (raises on bad shapes)."""
+        return cls(
+            qual=str(payload["qual"]),
+            cls=payload["cls"],
+            is_async=bool(payload["is_async"]),
+            nested=bool(payload["nested"]),
+            lineno=int(payload["lineno"]),
+            calls=list(payload["calls"]),
+            submissions=list(payload["submissions"]),
+            acquisitions=list(payload["acquisitions"]),
+            nested_locks=list(payload["nested_locks"]),
+            calls_under_lock=list(payload["calls_under_lock"]),
+            mutations=list(payload["mutations"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the flow engine knows about one module.
+
+    ``modname`` is the root-relative dotted name (``service.scheduler``);
+    ``display_path`` the path findings are reported under.  ``imports``
+    maps local names to ``{"kind": "module"|"object", "module": str,
+    "obj": str|None, "internal": bool}``; ``defs`` maps in-module
+    qualnames to ``"func"``/``"async"``/``"class"``; ``noqa`` carries
+    the per-line and file-level suppressions so flow findings honor
+    them without re-reading source.
+    """
+
+    relpath: str
+    modname: str
+    display_path: str
+    imports: dict[str, dict] = field(default_factory=dict)
+    defs: dict[str, str] = field(default_factory=dict)
+    functions: list[FunctionSummary] = field(default_factory=list)
+    lock_attrs: list[list[str]] = field(default_factory=list)
+    lock_globals: list[str] = field(default_factory=list)
+    global_mutables: list[str] = field(default_factory=list)
+    noqa: dict[str, list[str] | str] = field(default_factory=dict)
+    noqa_file: list[str] | str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (the lint cache's ``summary`` payload)."""
+        return {
+            "relpath": self.relpath,
+            "modname": self.modname,
+            "display_path": self.display_path,
+            "imports": self.imports,
+            "defs": self.defs,
+            "functions": [f.to_dict() for f in self.functions],
+            "lock_attrs": self.lock_attrs,
+            "lock_globals": self.lock_globals,
+            "global_mutables": self.global_mutables,
+            "noqa": self.noqa,
+            "noqa_file": self.noqa_file,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModuleSummary":
+        """Rebuild from :meth:`to_dict` output (raises on bad shapes)."""
+        return cls(
+            relpath=str(payload["relpath"]),
+            modname=str(payload["modname"]),
+            display_path=str(payload["display_path"]),
+            imports=dict(payload["imports"]),
+            defs=dict(payload["defs"]),
+            functions=[FunctionSummary.from_dict(f) for f in payload["functions"]],
+            lock_attrs=[list(x) for x in payload["lock_attrs"]],
+            lock_globals=list(payload["lock_globals"]),
+            global_mutables=list(payload["global_mutables"]),
+            noqa=dict(payload["noqa"]),
+            noqa_file=payload["noqa_file"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Summary extraction
+# ---------------------------------------------------------------------------
+
+
+def _module_name(relpath: str) -> str:
+    """``service/scheduler.py`` → ``service.scheduler`` (``__init__``
+    collapses onto its package)."""
+    parts = pathlib.PurePosixPath(relpath).with_suffix("").parts
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_internal(root: pathlib.Path | None, modname: str) -> bool:
+    """Whether dotted ``modname`` names a module/package under ``root``."""
+    if root is None or not modname:
+        return False
+    base = root.joinpath(*modname.split("."))
+    return base.with_suffix(".py").is_file() or (base / "__init__.py").is_file()
+
+
+def _chain_of(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` → ``["a", "b", "c"]``; None unless rooted at a Name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _call_ref(node: ast.Call, local_types: dict[str, list[str]]) -> dict | None:
+    """Classify a call's callee into a serializable reference.
+
+    Shapes: ``{"kind": "name", "parts": [...]}`` for dotted chains
+    rooted at a module-scope name, ``{"kind": "self", "parts": [...]}``
+    for ``self.…`` receivers, ``{"kind": "instance", "ctor": [...],
+    "parts": [m]}`` for method calls whose receiver is a tracked local
+    (``client = ServiceClient(...)``; ``client.solve(...)``) or an
+    inline construction (``ServiceClient(...).solve(...)``).
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # Inline construction: ClassName(...).method(...)
+        if isinstance(func.value, ast.Call):
+            ctor = _chain_of(func.value.func)
+            if ctor is not None:
+                return {"kind": "instance", "ctor": ctor, "parts": [func.attr]}
+        chain = _chain_of(func)
+        if chain is None:
+            return None
+        if chain[0] == "self":
+            return {"kind": "self", "parts": chain[1:]}
+        if len(chain) == 2 and chain[0] in local_types:
+            return {
+                "kind": "instance",
+                "ctor": local_types[chain[0]],
+                "parts": [chain[1]],
+            }
+        return {"kind": "name", "parts": chain}
+    if isinstance(func, ast.Name):
+        return {"kind": "name", "parts": [func.id]}
+    return None
+
+
+def _fn_ref(node: ast.AST) -> dict | None:
+    """A *function argument* reference (the thing handed to a pool)."""
+    if isinstance(node, ast.Lambda):
+        return {"kind": "lambda", "parts": []}
+    chain = _chain_of(node)
+    if chain is None:
+        return None
+    if chain[0] == "self":
+        return {"kind": "self", "parts": chain[1:]}
+    return {"kind": "name", "parts": chain}
+
+
+def _pool_kind(recv: list[str], node: ast.Call, local_types: dict) -> str | None:
+    """Which pool a submission call targets, or None if not a submission.
+
+    ``recv`` is the receiver chain minus the method name.  Returns
+    ``"thread"``, ``"process"``, or ``"worker"`` (mode unknown — could
+    be either, as with ``HybridExecutor.run(fn, mode=self._mode)``).
+    """
+    method = node.func.attr if isinstance(node.func, ast.Attribute) else ""
+    if method == "run_in_executor":
+        return "thread"
+    hint = ".".join(recv).lower()
+    if recv and recv[0] in local_types:
+        hint = ".".join(local_types[recv[0]]).lower() + "." + hint
+    for kw in node.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            if kw.value.value in ("thread", "process"):
+                return str(kw.value.value)
+    if "process" in hint:
+        return "process"
+    if "thread" in hint:
+        return "thread"
+    if method == "run" or any(
+        kw.arg == "mode" for kw in node.keywords
+    ):
+        return "worker"
+    return "worker"
+
+
+def _is_lock_ctor(node: ast.AST) -> bool:
+    """Whether ``node`` is a call to a recognized lock constructor."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _chain_of(node.func)
+    return chain is not None and chain[-1] in _LOCK_CONSTRUCTORS
+
+
+def _lock_ref(node: ast.AST, known: "_LockIndex") -> dict | None:
+    """A lock identity for a ``with`` context expression, if it is one.
+
+    Recognized: ``self.<attr>`` where the module assigns that attribute
+    from a lock constructor, and a bare module-level name likewise
+    assigned.  (Name-based heuristics are deliberately avoided: a lock
+    the summary never saw constructed is not a lock.)
+    """
+    chain = _chain_of(node)
+    if chain is None:
+        return None
+    if chain[0] == "self" and len(chain) == 2 and chain[1] in known.attrs:
+        return {"kind": "self", "attr": chain[1]}
+    if len(chain) == 1 and chain[0] in known.globals:
+        return {"kind": "global", "name": chain[0]}
+    return None
+
+
+@dataclass
+class _LockIndex:
+    """Lock bindings witnessed while scanning a module."""
+
+    attrs: set[str] = field(default_factory=set)
+    globals: set[str] = field(default_factory=set)
+
+
+def _scan_imports(tree: ast.Module, modname: str, root: pathlib.Path | None) -> dict:
+    """The module's import table (see :class:`ModuleSummary.imports`)."""
+    package = modname.split(".")[:-1] if modname else []
+    root_pkg = root.name if root is not None else ""
+    table: dict[str, dict] = {}
+
+    def normalize(target: str) -> tuple[str, bool]:
+        parts = target.split(".")
+        if root_pkg and parts[0] == root_pkg:
+            stripped = ".".join(parts[1:])
+            return stripped, True
+        internal = _is_internal(root, target)
+        return target, internal
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target, internal = normalize(alias.name)
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.asname is None and "." in alias.name:
+                    # ``import a.b`` binds ``a``; record the root module.
+                    target = target.split(".")[0] if target else target
+                    internal = _is_internal(root, target)
+                table[local] = {
+                    "kind": "module",
+                    "module": target,
+                    "obj": None,
+                    "internal": internal,
+                }
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package[: len(package) - (node.level - 1)]
+                if node.level - 1 > len(package):
+                    base = []
+                target_mod = ".".join(base + (node.module or "").split("."))
+                target_mod = target_mod.strip(".")
+                internal = _is_internal(root, target_mod) if target_mod else False
+            else:
+                target_mod, internal = normalize(node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                # ``from pkg import mod`` where pkg.mod is a module:
+                sub = f"{target_mod}.{alias.name}" if target_mod else alias.name
+                if _is_internal(root, sub):
+                    table[local] = {
+                        "kind": "module",
+                        "module": sub,
+                        "obj": None,
+                        "internal": True,
+                    }
+                else:
+                    table[local] = {
+                        "kind": "object",
+                        "module": target_mod,
+                        "obj": alias.name,
+                        "internal": internal,
+                    }
+    return table
+
+
+class _FunctionScanner:
+    """One function body → one :class:`FunctionSummary`."""
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        qual: str,
+        cls: str | None,
+        nested: bool,
+        locks: _LockIndex,
+        module_globals: set[str],
+    ) -> None:
+        self.fn = fn
+        self.summary = FunctionSummary(
+            qual=qual,
+            cls=cls,
+            is_async=isinstance(fn, ast.AsyncFunctionDef),
+            nested=nested,
+            lineno=fn.lineno,
+        )
+        self.locks = locks
+        self.module_globals = module_globals
+        self.local_types: dict[str, list[str]] = {}
+        self.declared_global: set[str] = set()
+
+    def scan(self) -> FunctionSummary:
+        """Walk the body (not descending into nested defs) and collect."""
+        self._prescan_locals(self.fn)
+        for stmt in self.fn.body:
+            self._stmt(stmt, held=[])
+        return self.summary
+
+    # -- helpers ----------------------------------------------------------
+
+    def _prescan_locals(self, fn: ast.AST) -> None:
+        """Track ``x = ClassName(...)`` constructor types and globals."""
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+                continue
+            if isinstance(node, ast.Global):
+                self.declared_global.update(node.names)
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                ctor = _chain_of(node.value.func)
+                if ctor is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_types[target.id] = ctor
+
+    def _record_call(self, node: ast.Call, *, bare: bool, awaited: bool) -> None:
+        ref = _call_ref(node, self.local_types)
+        if ref is not None:
+            self.summary.calls.append(
+                {
+                    "ref": ref,
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "bare": bare,
+                    "awaited": awaited,
+                }
+            )
+        self._maybe_submission(node)
+
+    def _maybe_submission(self, node: ast.Call) -> None:
+        """Record ``<recv>.submit/run/run_in_executor/to_thread(fn, …)``."""
+        func = node.func
+        chain = _chain_of(func)
+        if chain is None:
+            return
+        method = chain[-1]
+        fn_arg_index = 0
+        if method == "run_in_executor":
+            fn_arg_index = 1  # (pool, fn, *args)
+        elif chain[-2:] == ["asyncio", "to_thread"] or (
+            len(chain) == 1 and method == "to_thread"
+        ):
+            method = "to_thread"
+        elif method not in _SUBMIT_METHODS:
+            return
+        if len(node.args) <= fn_arg_index:
+            return
+        fn_ref = _fn_ref(node.args[fn_arg_index])
+        if fn_ref is None:
+            return
+        if method == "to_thread" or method == "run_in_executor":
+            pool = "thread"
+        else:
+            pool = _pool_kind(chain[:-1], node, self.local_types)
+        if pool is None:
+            return
+        self.summary.submissions.append(
+            {
+                "pool": pool,
+                "fn": fn_ref,
+                "line": node.lineno,
+                "col": node.col_offset,
+            }
+        )
+
+    def _mutation_target(self, node: ast.AST) -> dict | None:
+        """The state identity an assignment/call target mutates, if shared."""
+        if isinstance(node, ast.Attribute):
+            chain = _chain_of(node)
+            if chain is not None and chain[0] == "self" and len(chain) == 2:
+                return {"kind": "self", "attr": chain[1]}
+        if isinstance(node, ast.Subscript):
+            return self._mutation_target(node.value)
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.declared_global or name in self.module_globals:
+                if name not in self.local_types:
+                    return {"kind": "global", "name": name}
+        return None
+
+    def _record_mutation(self, target: dict | None, node: ast.AST, held: list) -> None:
+        if target is None:
+            return
+        self.summary.mutations.append(
+            {
+                "target": target,
+                "line": node.lineno,
+                "col": node.col_offset,
+                "protected": bool(held),
+            }
+        )
+
+    # -- statement walk (tracks the lock-hold stack) ----------------------
+
+    def _stmt(self, stmt: ast.stmt, held: list[dict]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are scanned as their own functions
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired: list[dict] = []
+            for item in stmt.items:
+                lock = _lock_ref(item.context_expr, self.locks)
+                self._exprs(item.context_expr, held)
+                if lock is not None:
+                    self.summary.acquisitions.append(
+                        {"lock": lock, "line": stmt.lineno}
+                    )
+                    for outer in held:
+                        self.summary.nested_locks.append(
+                            {"outer": outer, "inner": lock, "line": stmt.lineno}
+                        )
+                    acquired.append(lock)
+            inner_held = held + acquired
+            for child in stmt.body:
+                self._stmt(child, inner_held)
+            return
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._record_mutation(self._mutation_target(target), stmt, held)
+            self._exprs(stmt.value, held)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._record_mutation(self._mutation_target(stmt.target), stmt, held)
+            self._exprs(stmt.value, held)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            self._record_mutation(self._mutation_target(stmt.target), stmt, held)
+            if stmt.value is not None:
+                self._exprs(stmt.value, held)
+            return
+        if isinstance(stmt, (ast.Delete,)):
+            for target in stmt.targets:
+                self._record_mutation(self._mutation_target(target), stmt, held)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._exprs(stmt.value, held, bare=True)
+            return
+        # Generic statement: walk child statements and expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._stmt(child, held)
+            elif isinstance(child, ast.expr):
+                self._exprs(child, held)
+            elif isinstance(child, (ast.withitem, ast.excepthandler)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self._stmt(sub, held)
+                    elif isinstance(sub, ast.expr):
+                        self._exprs(sub, held)
+
+    def _exprs(self, expr: ast.expr, held: list[dict], *, bare: bool = False) -> None:
+        """Record calls (and mutating method calls) inside ``expr``."""
+        top_await = isinstance(expr, ast.Await)
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Lambda,)):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            is_top = node is expr or (top_await and node is expr.value)
+            awaited = top_await and node is expr.value
+            # Any call under an Await counts as awaited for REP502's
+            # purposes (e.g. ``await asyncio.gather(f(), g())``).
+            if not awaited and top_await:
+                awaited = True
+            self._record_call(node, bare=bare and is_top, awaited=awaited)
+            # Mutating method call on shared state?
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATING_METHODS:
+                self._record_mutation(
+                    self._mutation_target(node.func.value), node, held
+                )
+            # Calls made while holding a lock (for cross-function order).
+            ref = _call_ref(node, self.local_types)
+            if ref is not None and held:
+                for lock in held:
+                    self.summary.calls_under_lock.append(
+                        {"lock": lock, "ref": ref, "line": node.lineno}
+                    )
+
+
+def summarize_module(
+    tree: ast.Module,
+    *,
+    relpath: str,
+    display_path: str,
+    root: pathlib.Path | None = None,
+    noqa: dict[str, list[str] | str] | None = None,
+    noqa_file: list[str] | str | None = None,
+) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` for one parsed module.
+
+    Parameters
+    ----------
+    tree:
+        The parsed module.
+    relpath:
+        Root-relative posix path (``service/scheduler.py``).
+    display_path:
+        The path findings are reported under.
+    root:
+        Lint root, used to classify imports as internal/external.
+    noqa / noqa_file:
+        Suppression tables harvested by the code-lint engine (line →
+        codes, plus the file-level form), carried on the summary so
+        flow findings honor them.
+    """
+    modname = _module_name(relpath)
+    summary = ModuleSummary(
+        relpath=relpath,
+        modname=modname,
+        display_path=display_path,
+        imports=_scan_imports(tree, modname, root),
+        noqa=dict(noqa or {}),
+        noqa_file=noqa_file,
+    )
+
+    locks = _LockIndex()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+            for target in node.targets:
+                chain = _chain_of(target)
+                if chain is None:
+                    continue
+                if chain[0] == "self" and len(chain) == 2:
+                    locks.attrs.add(chain[1])
+                elif len(chain) == 1:
+                    locks.globals.add(chain[0])
+
+    module_globals: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            value_is_mutable = isinstance(
+                node.value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp)
+            ) or (
+                isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id in ("list", "dict", "set", "deque")
+            )
+            for target in node.targets:
+                if isinstance(target, ast.Name) and value_is_mutable:
+                    module_globals.add(target.id)
+
+    summary.lock_attrs = sorted([["", a] for a in locks.attrs])
+    summary.lock_globals = sorted(locks.globals)
+    summary.global_mutables = sorted(module_globals)
+
+    # Collect every function (methods, nested defs) with its qualname.
+    def visit(parent: ast.AST, prefix: str, cls: str | None, nested: bool) -> None:
+        for child in ast.iter_child_nodes(parent):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                summary.defs[qual] = "async" if isinstance(
+                    child, ast.AsyncFunctionDef
+                ) else "func"
+                scanner = _FunctionScanner(
+                    child, qual, cls, nested, locks, module_globals
+                )
+                summary.functions.append(scanner.scan())
+                visit(child, qual + ".<locals>.", cls, True)
+            elif isinstance(child, ast.ClassDef):
+                qual = f"{prefix}{child.name}"
+                summary.defs[qual] = "class"
+                visit(child, qual + ".", child.name, nested)
+
+    visit(tree, "", None, False)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Graph build + context propagation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlowGraph:
+    """The linked whole-package view the REP5xx rules run over.
+
+    ``functions`` maps function ids (``"<modname>::<qual>"``) to their
+    summaries; ``module_of`` recovers the owning :class:`ModuleSummary`.
+    ``edges`` are resolved plain calls ``(callee_id, line, col)``;
+    ``contexts`` maps a function id to ``{context: (origin_id, line)}``
+    provenance — which call site put the function in that context —
+    letting rules print the path evidence.
+    """
+
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    module_of: dict[str, ModuleSummary] = field(default_factory=dict)
+    edges: dict[str, list[tuple[str, int, int]]] = field(default_factory=dict)
+    contexts: dict[str, dict[str, tuple[str | None, int]]] = field(
+        default_factory=dict
+    )
+
+    # -- name resolution --------------------------------------------------
+
+    def resolve_in_module(
+        self, modname: str, name: str, depth: int = 0
+    ) -> tuple[str, str] | None:
+        """Resolve ``name`` inside ``modname`` to ``(kind, id)``.
+
+        Kinds: ``("fn", fid)``, ``("class", "<mod>::<Class>")``; follows
+        re-export chains through import tables up to 8 hops.  ``None``
+        when the name leaves the linted package or cannot be found.
+        """
+        if depth > 8:
+            return None
+        module = self.modules.get(modname)
+        if module is None:
+            return None
+        kind = module.defs.get(name)
+        if kind in ("func", "async"):
+            return ("fn", f"{modname}::{name}")
+        if kind == "class":
+            return ("class", f"{modname}::{name}")
+        entry = module.imports.get(name)
+        if entry is None or not entry.get("internal"):
+            return None
+        if entry["kind"] == "module":
+            return None  # a module is not a callable
+        return self.resolve_in_module(entry["module"], entry["obj"], depth + 1)
+
+    def resolve_call(self, modname: str, ref: dict) -> tuple[str, str] | None:
+        """Resolve a summary call reference to ``(kind, id)`` or an
+        external chain ``("ext", "time.sleep")``.
+
+        ``self`` references resolve single-part method names against the
+        calling function's own class; multi-part receivers (``self._x.m``)
+        stay unresolved.  ``instance`` references resolve the constructor
+        chain to an internal class and then the method on it.
+        """
+        module = self.modules.get(modname)
+        if module is None:
+            return None
+        kind, parts = ref.get("kind"), list(ref.get("parts", ()))
+        if kind == "name" and parts:
+            head, rest = parts[0], parts[1:]
+            resolved = self.resolve_in_module(modname, head)
+            if resolved is not None:
+                rkind, rid = resolved
+                if rkind == "fn" and not rest:
+                    return resolved
+                if rkind == "class":
+                    if len(rest) == 1:
+                        return self._method(rid, rest[0])
+                    if not rest:
+                        return resolved  # bare constructor call
+                return None
+            entry = module.imports.get(head)
+            if entry is not None:
+                if entry.get("internal") and entry["kind"] == "module":
+                    if len(rest) == 1:
+                        return self.resolve_in_module(entry["module"], rest[0])
+                    if len(rest) == 2:
+                        inner = self.resolve_in_module(entry["module"], rest[0])
+                        if inner is not None and inner[0] == "class":
+                            return self._method(inner[1], rest[1])
+                    return None
+                # External: canonical dotted chain for the blocking registry.
+                base = entry["module"] if entry["kind"] == "module" else (
+                    f"{entry['module']}.{entry['obj']}" if entry["module"] else entry["obj"]
+                )
+                return ("ext", ".".join([base] + rest)) if base else None
+            if not rest and head in ("open", "input", "breakpoint"):
+                return ("ext", head)
+            return None
+        if kind == "instance":
+            ctor = self.resolve_call(modname, {"kind": "name", "parts": ref["ctor"]})
+            if ctor is not None and ctor[0] == "class" and len(parts) == 1:
+                return self._method(ctor[1], parts[0])
+            if ctor is not None and ctor[0] == "ext":
+                return ("ext", ctor[1] + "." + ".".join(parts))
+            return None
+        return None
+
+    def _method(self, class_id: str, method: str) -> tuple[str, str] | None:
+        modname, cls = class_id.split("::", 1)
+        fid = f"{modname}::{cls}.{method}"
+        if fid in self.functions:
+            return ("fn", fid)
+        return None
+
+    def resolve_self(self, fid: str, ref: dict) -> tuple[str, str] | None:
+        """Resolve a ``self`` call ref from inside ``fid``."""
+        parts = ref.get("parts", ())
+        if len(parts) != 1:
+            return None
+        fn = self.functions.get(fid)
+        if fn is None or fn.cls is None:
+            return None
+        modname = fid.split("::", 1)[0]
+        return self._method(f"{modname}::{fn.cls}", parts[0])
+
+    def resolve_any(self, fid: str, ref: dict) -> tuple[str, str] | None:
+        """Resolve any summary reference relative to function ``fid``.
+
+        Bare single names check ``fid``'s own nested defs first (the
+        closure a function hands to a pool), then fall back to
+        module-level resolution.
+        """
+        if ref.get("kind") == "self":
+            return self.resolve_self(fid, ref)
+        parts = ref.get("parts", ())
+        if ref.get("kind") == "name" and len(parts) == 1:
+            nested = f"{fid}.<locals>.{parts[0]}"
+            if nested in self.functions:
+                return ("fn", nested)
+        return self.resolve_call(fid.split("::", 1)[0], ref)
+
+    # -- lock identities --------------------------------------------------
+
+    def lock_id(self, fid: str, lock: dict) -> str:
+        """Canonical lock identity for reporting and cross-function order."""
+        modname = fid.split("::", 1)[0]
+        if lock.get("kind") == "self":
+            fn = self.functions.get(fid)
+            cls = fn.cls if fn is not None and fn.cls else "?"
+            return f"{modname}::{cls}.{lock['attr']}"
+        return f"{modname}::{lock.get('name', '?')}"
+
+    # -- queries used by the rules ---------------------------------------
+
+    def sides(self, fid: str) -> set[str]:
+        """The coarse context sides of ``fid``: ``{"loop", "worker"}``."""
+        out = set()
+        for ctx in self.contexts.get(fid, ()):
+            out.add("loop" if ctx == CTX_LOOP else "worker")
+        return out
+
+    def context_origin(self, fid: str, ctx: str) -> tuple[str | None, int]:
+        """Provenance of ``ctx`` on ``fid`` (seeding fn id + line)."""
+        return self.contexts.get(fid, {}).get(ctx, (None, 0))
+
+    def loop_entry(self, fid: str) -> str:
+        """Walk provenance back to the ``async def`` that anchors the
+        event-loop context of ``fid`` (for REP501 messages)."""
+        seen = {fid}
+        current = fid
+        while True:
+            origin, _line = self.context_origin(current, CTX_LOOP)
+            if origin is None or origin in seen:
+                return current
+            seen.add(origin)
+            current = origin
+
+    def dependents(self, modnames: Iterable[str]) -> set[str]:
+        """Modules whose analysis could be affected by ``modnames``:
+        transitive callers of any function defined there (plus the
+        modules themselves).  This is the invalidation frontier the
+        incremental layer reports when source files change."""
+        targets = set(modnames)
+        callers: dict[str, set[str]] = {}
+        for fid, out_edges in self.edges.items():
+            src_mod = fid.split("::", 1)[0]
+            for callee, _line, _col in out_edges:
+                callers.setdefault(callee.split("::", 1)[0], set()).add(src_mod)
+        frontier = set(targets)
+        while frontier:
+            next_frontier = set()
+            for mod in frontier:
+                for caller in callers.get(mod, ()):
+                    if caller not in targets:
+                        targets.add(caller)
+                        next_frontier.add(caller)
+            frontier = next_frontier
+        return targets
+
+
+def _iter_summaries(
+    summaries: Iterable[ModuleSummary],
+) -> Iterator[tuple[str, ModuleSummary]]:
+    for summary in summaries:
+        yield summary.modname, summary
+
+
+def build_graph(summaries: Iterable[ModuleSummary]) -> FlowGraph:
+    """Link module summaries into a :class:`FlowGraph` and propagate
+    execution contexts (the ``analysis.flow.build_graph`` /
+    ``analysis.flow.propagate`` spans)."""
+    graph = FlowGraph()
+    with telemetry.span("analysis.flow.build_graph"):
+        for modname, summary in _iter_summaries(summaries):
+            graph.modules[modname] = summary
+            for fn in summary.functions:
+                fid = f"{modname}::{fn.qual}"
+                graph.functions[fid] = fn
+                graph.module_of[fid] = summary
+        for fid, fn in graph.functions.items():
+            edges: list[tuple[str, int, int]] = []
+            for call in fn.calls:
+                resolved = graph.resolve_any(fid, call["ref"])
+                if resolved is not None and resolved[0] == "fn":
+                    edges.append((resolved[1], call["line"], call["col"]))
+            graph.edges[fid] = edges
+
+    with telemetry.span("analysis.flow.propagate"):
+        _propagate(graph)
+    return graph
+
+
+def _propagate(graph: FlowGraph) -> None:
+    """Seed and forward-propagate execution contexts over plain edges."""
+    worklist: list[str] = []
+
+    def seed(fid: str, ctx: str, origin: str | None, line: int) -> None:
+        ctxs = graph.contexts.setdefault(fid, {})
+        if ctx not in ctxs:
+            ctxs[ctx] = (origin, line)
+            worklist.append(fid)
+
+    for fid, fn in graph.functions.items():
+        if fn.is_async:
+            seed(fid, CTX_LOOP, None, fn.lineno)
+        for sub in fn.submissions:
+            resolved = graph.resolve_any(fid, sub["fn"])
+            if resolved is None or resolved[0] != "fn":
+                continue
+            target = resolved[1]
+            pool = sub["pool"]
+            if pool in ("thread", "worker"):
+                seed(target, CTX_THREAD, fid, sub["line"])
+            if pool in ("process", "worker"):
+                seed(target, CTX_PROCESS, fid, sub["line"])
+
+    while worklist:
+        fid = worklist.pop()
+        ctxs = dict(graph.contexts.get(fid, {}))
+        for callee, line, _col in graph.edges.get(fid, ()):
+            for ctx in ctxs:
+                seed(callee, ctx, fid, line)

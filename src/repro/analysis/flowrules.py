@@ -1,0 +1,497 @@
+"""The REP5xx concurrency rules over the :class:`~repro.analysis.flow.FlowGraph`.
+
+Unlike the REP1xx–4xx rules in :mod:`repro.analysis.codelint`, which
+each see one module's AST, these rules see the whole package at once:
+the linked call graph with execution contexts propagated by
+:func:`repro.analysis.flow.build_graph`.  They consume *only* module
+summaries — plain serialized facts — so a warm (cache-served) run and a
+cold run produce byte-identical findings.
+
+=======  ========  =====================================================
+code     severity  finding
+=======  ========  =====================================================
+REP501   error     blocking call (``time.sleep``, sync subprocess/file
+                   IO, ``ServiceClient`` methods) reachable from an
+                   ``async def`` body without an executor hop
+REP502   error     coroutine created as a bare statement but never
+                   awaited or scheduled
+REP503   error     two functions acquire the same pair of locks in
+                   opposite orders (deadlock risk)
+REP504   error     lambda, closure, or bound method submitted to a
+                   process-capable pool (only module-level functions
+                   pickle)
+REP505   warning   module-/instance-level mutable state mutated without
+                   a lock from both event-loop and worker contexts
+=======  ========  =====================================================
+
+Each rule runs under an ``analysis.flow.rule_<code>`` telemetry span.
+Suppression honors the same ``# nck: noqa[CODE]`` comments as the
+syntactic rules (line tables travel on the summaries), including the
+file-level ``# nck: noqa-file[CODE]`` form.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .. import telemetry
+from .diagnostics import Diagnostic, RuleInfo, Severity
+from .flow import CTX_LOOP, CTX_PROCESS, CTX_THREAD, FlowGraph, ModuleSummary
+
+__all__ = ["FLOW_RULES", "run_flow_rules"]
+
+#: External dotted call chains that block the calling thread.  The
+#: registry is deliberately exact-match: a chain the summaries cannot
+#: canonicalize is never flagged.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+        "shutil.copyfileobj",
+    }
+)
+
+#: Internal classes whose public methods block by contract (the sync
+#: facade over the async service).  Calling one from the event loop
+#: deadlocks the loop on its own worker.
+BLOCKING_CLASSES = frozenset({"ServiceClient"})
+
+FLOW_RULES: dict[str, RuleInfo] = {}
+
+
+def _flow_rule(code: str, name: str, severity: Severity, summary: str):
+    """Register a flow rule (same registry shape as the per-module rules)."""
+
+    def register(fn: Callable[[FlowGraph], Iterator[Diagnostic]]):
+        FLOW_RULES[code] = RuleInfo(
+            code=code, name=name, severity=severity, summary=summary, check=fn
+        )
+        return fn
+
+    return register
+
+
+def _diag(
+    module: ModuleSummary,
+    code: str,
+    severity: Severity,
+    message: str,
+    *,
+    line: int,
+    column: int | None = None,
+    obj: str | None = None,
+    hint: str | None = None,
+) -> Diagnostic:
+    """Shorthand for a flow-sourced diagnostic located in ``module``."""
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        source="codelint",
+        file=module.display_path,
+        line=line,
+        column=column,
+        obj=obj,
+        hint=hint,
+    )
+
+
+def _fn_label(fid: str) -> str:
+    """``service.scheduler::JobScheduler._pop`` → the human-facing name."""
+    modname, qual = fid.split("::", 1)
+    return f"{modname}.{qual}" if modname else qual
+
+
+# ---------------------------------------------------------------------------
+# REP501 — blocking call on the event loop
+# ---------------------------------------------------------------------------
+
+
+@_flow_rule(
+    "REP501",
+    "blocking-call-in-async-context",
+    Severity.ERROR,
+    "blocking call reachable from an async def without an executor hop",
+)
+def _check_blocking_in_loop(graph: FlowGraph) -> Iterator[Diagnostic]:
+    """REP501: flag blocking calls inside event-loop-context functions.
+
+    A function carries event-loop context when it is an ``async def`` or
+    is reached from one through plain (non-submission) call edges; the
+    executor-hop exemption is structural — submission edges never
+    propagate the caller's context, so code handed to a pool is clean by
+    construction.  Blocking means: an external chain in
+    :data:`BLOCKING_CALLS`, or a method of an internal class named in
+    :data:`BLOCKING_CLASSES`.
+    """
+    for fid in sorted(graph.functions):
+        fn = graph.functions[fid]
+        if CTX_LOOP not in graph.contexts.get(fid, {}):
+            continue
+        module = graph.module_of[fid]
+        entry = graph.loop_entry(fid)
+        if entry == fid:
+            reach = f"inside 'async def {fn.qual}'"
+        else:
+            reach = (
+                f"reachable from 'async def {graph.functions[entry].qual}' "
+                f"via '{fn.qual}' without an executor hop"
+            )
+        for call in fn.calls:
+            resolved = graph.resolve_any(fid, call["ref"])
+            if resolved is None:
+                continue
+            kind, target = resolved
+            blocked: str | None = None
+            if kind == "ext" and target in BLOCKING_CALLS:
+                blocked = f"'{target}'"
+            elif kind == "fn":
+                callee = graph.functions.get(target)
+                if callee is not None and callee.cls in BLOCKING_CLASSES:
+                    blocked = (
+                        f"sync facade method '{_fn_label(target)}' (blocks "
+                        "the calling thread by contract)"
+                    )
+            if blocked is None:
+                continue
+            yield _diag(
+                module,
+                "REP501",
+                Severity.ERROR,
+                f"blocking call to {blocked} {reach}; this stalls the "
+                "event loop",
+                line=call["line"],
+                column=call["col"],
+                obj=fn.qual,
+                hint="hand the blocking work to the executor "
+                "(await pool.run(fn, ...) / loop.run_in_executor) or use "
+                "the async API",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP502 — coroutine never awaited
+# ---------------------------------------------------------------------------
+
+
+@_flow_rule(
+    "REP502",
+    "coroutine-never-awaited",
+    Severity.ERROR,
+    "coroutine created as a bare statement but never awaited or scheduled",
+)
+def _check_unawaited_coroutine(graph: FlowGraph) -> Iterator[Diagnostic]:
+    """REP502: a bare ``f()`` statement where ``f`` is an ``async def``.
+
+    Calling a coroutine function creates the coroutine object; as a bare
+    expression statement the object is dropped on the floor and the body
+    never runs.  Restricting the rule to statement position keeps
+    scheduling idioms clean: ``asyncio.create_task(f())``,
+    ``await gather(f(), g())``, and ``task = f()`` (handed off later)
+    all place the call in non-bare or awaited position.
+    """
+    for fid in sorted(graph.functions):
+        fn = graph.functions[fid]
+        module = graph.module_of[fid]
+        for call in fn.calls:
+            if not call.get("bare") or call.get("awaited"):
+                continue
+            resolved = graph.resolve_any(fid, call["ref"])
+            if resolved is None or resolved[0] != "fn":
+                continue
+            callee = graph.functions.get(resolved[1])
+            if callee is None or not callee.is_async:
+                continue
+            yield _diag(
+                module,
+                "REP502",
+                Severity.ERROR,
+                f"coroutine '{_fn_label(resolved[1])}' is created here but "
+                "never awaited or scheduled; its body will not run",
+                line=call["line"],
+                column=call["col"],
+                obj=fn.qual,
+                hint="await it, or schedule it with asyncio.create_task(...)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP503 — inconsistent lock order
+# ---------------------------------------------------------------------------
+
+
+@_flow_rule(
+    "REP503",
+    "lock-order-inversion",
+    Severity.ERROR,
+    "two code paths acquire the same locks in opposite orders",
+)
+def _check_lock_order(graph: FlowGraph) -> Iterator[Diagnostic]:
+    """REP503: build the global acquired-before relation and flag cycles.
+
+    Ordered pairs come from two witnesses: syntactic ``with a: with b:``
+    nesting inside one function, and one level of cross-function flow —
+    a call made while holding lock ``a`` into a function that acquires
+    lock ``b``.  Lock identities are constructor-witnessed only
+    (``self.attr`` / module globals assigned from ``threading.Lock`` &
+    co.), so the relation never guesses.  A pair ordered both ways is a
+    deadlock waiting for the right interleaving.
+    """
+    # (outer_id, inner_id) -> first witness (module, qual, line)
+    pairs: dict[tuple[str, str], tuple[ModuleSummary, str, int]] = {}
+
+    def witness(fid: str, outer: dict, inner: dict, line: int) -> None:
+        a, b = graph.lock_id(fid, outer), graph.lock_id(fid, inner)
+        if a == b:
+            return
+        key = (a, b)
+        if key not in pairs:
+            fn = graph.functions[fid]
+            pairs[key] = (graph.module_of[fid], fn.qual, line)
+
+    for fid in sorted(graph.functions):
+        fn = graph.functions[fid]
+        for nested in fn.nested_locks:
+            witness(fid, nested["outer"], nested["inner"], nested["line"])
+        for held in fn.calls_under_lock:
+            resolved = graph.resolve_any(fid, held["ref"])
+            if resolved is None or resolved[0] != "fn":
+                continue
+            callee = graph.functions.get(resolved[1])
+            if callee is None:
+                continue
+            for acq in callee.acquisitions:
+                witness(fid, held["lock"], acq["lock"], held["line"])
+
+    seen: set[frozenset[str]] = set()
+    for (a, b), (module, qual, line) in sorted(
+        pairs.items(), key=lambda kv: (kv[1][0].relpath, kv[1][2])
+    ):
+        if (b, a) not in pairs:
+            continue
+        unordered = frozenset((a, b))
+        if unordered in seen:
+            continue
+        seen.add(unordered)
+        other_mod, other_qual, other_line = pairs[(b, a)]
+        yield _diag(
+            module,
+            "REP503",
+            Severity.ERROR,
+            f"lock order inversion: '{qual}' acquires {a} then {b}, but "
+            f"'{other_qual}' ({other_mod.display_path}:{other_line}) "
+            "acquires them in the opposite order — a deadlock under the "
+            "right interleaving",
+            line=line,
+            obj=qual,
+            hint="pick one global acquisition order for this lock pair and "
+            "restructure the second path to follow it",
+        )
+
+
+# ---------------------------------------------------------------------------
+# REP504 — unpicklable process-pool submission
+# ---------------------------------------------------------------------------
+
+
+@_flow_rule(
+    "REP504",
+    "unpicklable-pool-submission",
+    Severity.ERROR,
+    "lambda/closure/bound method handed to a process-capable pool",
+)
+def _check_pool_picklability(graph: FlowGraph) -> Iterator[Diagnostic]:
+    """REP504: process-capable submissions must be module-level functions.
+
+    A process pool pickles the callable; lambdas, nested functions
+    (closures), and ``self.method`` bound methods either fail outright
+    or drag the whole instance across the pickle boundary.  ``worker``
+    pools (mode decided at runtime, e.g. ``HybridExecutor.run(fn,
+    mode=self._mode)``) are held to the same contract because they *can*
+    run in process mode.  Thread-only submissions are exempt.
+    """
+    for fid in sorted(graph.functions):
+        fn = graph.functions[fid]
+        module = graph.module_of[fid]
+        for sub in fn.submissions:
+            if sub["pool"] not in ("process", "worker"):
+                continue
+            ref = sub["fn"]
+            problem: str | None = None
+            if ref["kind"] == "lambda":
+                problem = "a lambda"
+            elif ref["kind"] == "self":
+                problem = f"bound method 'self.{'.'.join(ref['parts'])}'"
+            else:
+                resolved = graph.resolve_any(fid, ref)
+                if resolved is not None and resolved[0] == "fn":
+                    target = graph.functions.get(resolved[1])
+                    if target is not None and target.nested:
+                        problem = (
+                            f"closure '{_fn_label(resolved[1])}' (defined "
+                            "inside another function)"
+                        )
+                    elif target is not None and target.cls is not None:
+                        problem = f"method '{_fn_label(resolved[1])}'"
+            if problem is None:
+                continue
+            kind = "process pool" if sub["pool"] == "process" else (
+                "process-capable pool (mode decided at runtime)"
+            )
+            yield _diag(
+                module,
+                "REP504",
+                Severity.ERROR,
+                f"{problem} is submitted to a {kind}; only module-level "
+                "functions survive the pickle boundary",
+                line=sub["line"],
+                column=sub["col"],
+                obj=fn.qual,
+                hint="hoist the callable to a module-level function taking "
+                "explicit picklable arguments (see service/worker.py's "
+                "execute_request)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP505 — cross-context mutation without a lock
+# ---------------------------------------------------------------------------
+
+
+@_flow_rule(
+    "REP505",
+    "unlocked-cross-context-mutation",
+    Severity.WARNING,
+    "shared mutable state written from both loop and worker contexts "
+    "without a lock",
+)
+def _check_shared_mutation(graph: FlowGraph) -> Iterator[Diagnostic]:
+    """REP505: group mutations by state identity and check context spread.
+
+    State identities are ``Class.attr`` instance attributes and
+    module-level mutable globals (witnessed list/dict/set bindings).
+    An identity is flagged when its mutating functions collectively span
+    *both* the event-loop side and a worker side (thread or process) and
+    at least one mutation happens outside a ``with lock:`` block.
+    Mutations in ``__init__``/``__post_init__`` are exempt — the object
+    is not shared yet.  Single-sided state (everything the scheduler
+    touches only on the loop, everything a worker touches only in the
+    worker) is never flagged: that is the service's actual design rule.
+    """
+    # identity -> list of (fid, mutation)
+    by_state: dict[str, list[tuple[str, dict]]] = {}
+    for fid in sorted(graph.functions):
+        fn = graph.functions[fid]
+        if fn.qual.rsplit(".", 1)[-1] in ("__init__", "__post_init__", "__new__"):
+            continue
+        modname = fid.split("::", 1)[0]
+        for mut in fn.mutations:
+            target = mut["target"]
+            if target["kind"] == "self":
+                if fn.cls is None:
+                    continue
+                identity = f"{modname}::{fn.cls}.{target['attr']}"
+            else:
+                name = target["name"]
+                module = graph.module_of[fid]
+                if name not in module.global_mutables:
+                    continue
+                identity = f"{modname}::{name}"
+            by_state.setdefault(identity, []).append((fid, mut))
+
+    for identity in sorted(by_state):
+        sites = by_state[identity]
+        sides: set[str] = set()
+        side_of: dict[str, str] = {}
+        for fid, _mut in sites:
+            for ctx in graph.contexts.get(fid, {}):
+                side = "event-loop" if ctx == CTX_LOOP else "worker"
+                sides.add(side)
+                side_of.setdefault(side, fid)
+        if "event-loop" not in sides or "worker" not in sides:
+            continue
+        unprotected = [
+            (fid, mut)
+            for fid, mut in sites
+            if not mut["protected"] and graph.contexts.get(fid)
+        ]
+        if not unprotected:
+            continue
+        fid, mut = min(
+            unprotected,
+            key=lambda fm: (graph.module_of[fm[0]].relpath, fm[1]["line"]),
+        )
+        fn = graph.functions[fid]
+        loop_fn = _fn_label(side_of["event-loop"])
+        worker_fn = _fn_label(side_of["worker"])
+        yield _diag(
+            graph.module_of[fid],
+            "REP505",
+            Severity.WARNING,
+            f"shared state '{identity.split('::', 1)[1]}' is mutated here "
+            "without a lock, but is written from both the event loop "
+            f"(via '{loop_fn}') and a worker context (via '{worker_fn}')",
+            line=mut["line"],
+            column=mut.get("col"),
+            obj=fn.qual,
+            hint="guard every mutation with one lock, or confine the state "
+            "to a single execution context",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Driver + suppression
+# ---------------------------------------------------------------------------
+
+
+def _suppressed(module: ModuleSummary, diag: Diagnostic) -> bool:
+    """Whether the summary's noqa tables suppress ``diag``."""
+    if module.noqa_file is not None:
+        if module.noqa_file == "*" or diag.code in module.noqa_file:
+            return True
+    if diag.line is None:
+        return False
+    codes = module.noqa.get(str(diag.line))
+    if codes is None:
+        return False
+    return codes == "*" or diag.code in codes
+
+
+def run_flow_rules(
+    graph: FlowGraph, rules: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Run the selected REP5xx rules over ``graph``, report-sorted.
+
+    ``rules`` restricts to specific codes (default: all flow rules).
+    Suppressions (per-line and file-level noqa, carried on the module
+    summaries) are applied here so cached and fresh summaries behave
+    identically.
+    """
+    selected = set(rules) if rules is not None else set(FLOW_RULES)
+    by_display = {m.display_path: m for m in graph.modules.values()}
+    diagnostics: list[Diagnostic] = []
+    for code in sorted(FLOW_RULES):
+        if code not in selected:
+            continue
+        info = FLOW_RULES[code]
+        with telemetry.span(f"analysis.flow.rule_{code.lower()}"):
+            for diag in info.check(graph):
+                module = by_display.get(diag.file or "")
+                if module is not None and _suppressed(module, diag):
+                    continue
+                diagnostics.append(diag)
+    return sorted(diagnostics, key=Diagnostic.sort_key)

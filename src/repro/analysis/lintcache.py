@@ -1,0 +1,390 @@
+"""Incremental lint cache, parallel cold analysis, and the baseline ratchet.
+
+Whole-package dataflow (:mod:`repro.analysis.flow`) is too expensive to
+recompute from scratch on every ``make lint``, so the lint pipeline
+splits along the cacheable seam: *per-file analysis* (parse + syntactic
+REP1xx–4xx rules + flow-summary extraction, one parse per file) is
+cached on disk here, while the cross-module graph build + REP5xx pass
+recomputes from the (cheap, already-extracted) summaries each run.
+Because the flow rules consume only summaries, warm and cold runs give
+identical findings by construction.
+
+The cache follows the TemplateStore's corruption-tolerance contract
+(:mod:`repro.compile.pipeline.store`): every load validates schema,
+fingerprint, and payload shape, and *anything* doubtful — truncated
+JSON, a foreign schema, a stale fingerprint, even a directory squatting
+on an entry path — is treated as a miss, never an error.  Writes are
+atomic (``mkstemp`` + ``os.replace``) and best-effort: a read-only
+cache directory degrades to cold analysis, not a crash.
+
+Fingerprint recipe (any change ⇒ full miss for that file)::
+
+    sha256("repro-lintcache" | schema | engine | rule set
+           | file content sha | extra-inputs sha | file-set sha)
+
+- *engine* is :data:`repro.analysis.flow.ENGINE_VERSION` — bumping it
+  invalidates every entry at once.
+- *extra inputs* exist for the one rule whose verdict depends on other
+  files: REP302 (docs catalog drift) anchors to
+  ``analysis/diagnostics.py`` and reads the sibling ``analysis/*.py``
+  sources plus ``docs/analysis.md``; their hashes join that file's key.
+- the *file-set sha* (sorted relpaths) invalidates import-resolution
+  decisions when modules appear or disappear.
+
+The baseline ratchet (``lint-baseline.json``) makes CI monotone:
+findings matching a baseline entry are reported but do not gate; new
+findings gate as usual; baseline entries that no longer match anything
+are themselves errors (fixed findings must be removed from the file).
+
+Cache traffic is observable as ``analysis.flow.cache_hits`` /
+``cache_misses`` / ``cache_invalidations`` counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .. import telemetry
+from .diagnostics import Diagnostic, Severity
+from .flow import ENGINE_VERSION, ModuleSummary
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "LintCache",
+    "FileAnalysis",
+    "default_cache_dir",
+    "diagnostic_from_dict",
+    "Baseline",
+    "load_baseline",
+    "apply_baseline",
+]
+
+#: On-disk schema version of cache entries *and* the baseline file.
+SCHEMA_VERSION = 1
+
+_MAGIC = "repro-lintcache"
+
+#: Environment variable shared with the compile pipeline's TemplateStore.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Where lint cache entries live when no ``--cache-dir`` is given.
+
+    ``REPRO_CACHE_DIR`` (the same variable the compile pipeline's
+    TemplateStore honors) beats the user cache home
+    (``~/.cache/repro/codelint``).
+    """
+    env_dir = os.environ.get(CACHE_DIR_ENV)
+    if env_dir:
+        return pathlib.Path(env_dir) / "codelint"
+    return pathlib.Path.home() / ".cache" / "repro" / "codelint"
+
+
+def diagnostic_from_dict(payload: dict) -> Diagnostic:
+    """Rebuild a :class:`Diagnostic` from its ``to_dict`` payload."""
+    return Diagnostic(
+        code=str(payload["code"]),
+        severity=Severity.parse(payload["severity"]),
+        message=str(payload["message"]),
+        source=str(payload["source"]),
+        file=payload["file"],
+        line=payload["line"],
+        column=payload["column"],
+        obj=payload["object"],
+        hint=payload["hint"],
+    )
+
+
+@dataclass
+class FileAnalysis:
+    """The cached unit: one file's diagnostics + its flow summary.
+
+    ``fingerprint`` is the key the entry was stored under; ``cached``
+    records whether this instance came off disk (for reporting which
+    files a warm run actually re-analyzed).
+    """
+
+    relpath: str
+    fingerprint: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    summary: ModuleSummary | None = None
+    cached: bool = False
+
+    def to_payload(self) -> dict:
+        """The JSON document stored on disk."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "magic": _MAGIC,
+            "fingerprint": self.fingerprint,
+            "relpath": self.relpath,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": self.summary.to_dict() if self.summary else None,
+        }
+
+
+class LintCache:
+    """Corruption-tolerant on-disk cache of :class:`FileAnalysis` entries.
+
+    One JSON file per source file, named by a hash of the relpath (so a
+    changed file overwrites its own slot and stale fingerprints are
+    observable as *invalidations* rather than anonymous misses).
+    """
+
+    def __init__(self, directory: pathlib.Path | str | None = None) -> None:
+        """Create a cache rooted at ``directory``.
+
+        Parameters
+        ----------
+        directory:
+            Cache directory; defaults to :func:`default_cache_dir`.
+            Created lazily on first store.
+        """
+        self.directory = pathlib.Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # -- fingerprints ------------------------------------------------------
+
+    @staticmethod
+    def fingerprint(
+        text: str,
+        *,
+        rules: Iterable[str],
+        extra: str = "",
+        fileset: str = "",
+    ) -> str:
+        """The cache key for one file's analysis (recipe in module docs).
+
+        Parameters
+        ----------
+        text:
+            The file's source text.
+        rules:
+            The rule codes in effect (sorted into the key, so running a
+            subset never serves a superset's findings).
+        extra:
+            Extra-inputs hash for files whose analysis reads beyond
+            their own source (REP302's anchor file).
+        fileset:
+            Hash of the sorted relpath list of the linted tree.
+        """
+        content = hashlib.sha256(text.encode()).hexdigest()
+        recipe = "|".join(
+            [
+                _MAGIC,
+                f"schema{SCHEMA_VERSION}",
+                f"engine{ENGINE_VERSION}",
+                ",".join(sorted(rules)),
+                content,
+                extra,
+                fileset,
+            ]
+        )
+        return hashlib.sha256(recipe.encode()).hexdigest()
+
+    def _entry_path(self, relpath: str) -> pathlib.Path:
+        slot = hashlib.sha256(relpath.encode()).hexdigest()[:24]
+        return self.directory / f"{slot}.json"
+
+    # -- load / store ------------------------------------------------------
+
+    def load(self, relpath: str, fingerprint: str) -> FileAnalysis | None:
+        """Return the cached analysis for ``relpath`` or ``None``.
+
+        Any doubt — missing entry, unreadable JSON, foreign schema,
+        wrong relpath slot, malformed payload — counts as a miss; a
+        well-formed entry whose fingerprint differs counts as an
+        *invalidation* (the file or its inputs changed).
+        """
+        path = self._entry_path(relpath)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            if (
+                payload.get("magic") != _MAGIC
+                or payload.get("schema") != SCHEMA_VERSION
+                or payload.get("relpath") != relpath
+            ):
+                self.misses += 1
+                self._discard(path)
+                return None
+            if payload.get("fingerprint") != fingerprint:
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            diagnostics = [
+                diagnostic_from_dict(d) for d in payload["diagnostics"]
+            ]
+            summary = (
+                ModuleSummary.from_dict(payload["summary"])
+                if payload.get("summary") is not None
+                else None
+            )
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            self._discard(path)
+            return None
+        self.hits += 1
+        return FileAnalysis(
+            relpath=relpath,
+            fingerprint=fingerprint,
+            diagnostics=diagnostics,
+            summary=summary,
+            cached=True,
+        )
+
+    def store(self, analysis: FileAnalysis) -> None:
+        """Persist ``analysis`` atomically; failures are silent.
+
+        A read-only or vanished cache directory must degrade to
+        cold-every-time behavior, never crash a lint run.
+        """
+        path = self._entry_path(analysis.relpath)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(analysis.to_payload(), handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    @staticmethod
+    def _discard(path: pathlib.Path) -> None:
+        """Best-effort removal of a corrupt entry."""
+        try:
+            path.unlink()
+        except IsADirectoryError:
+            pass
+        except OSError:
+            pass
+
+    def emit_counters(self) -> None:
+        """Publish hit/miss/invalidation tallies to telemetry."""
+        telemetry.count("analysis.flow.cache_hits", self.hits)
+        telemetry.count("analysis.flow.cache_misses", self.misses)
+        telemetry.count("analysis.flow.cache_invalidations", self.invalidations)
+
+
+# ---------------------------------------------------------------------------
+# Baseline ratchet
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """Parsed ``lint-baseline.json``: accepted findings, keyed + counted.
+
+    ``entries`` maps ``(code, file, obj)`` to the number of findings of
+    that shape the baseline tolerates.  The ratchet is monotone: more
+    findings than baselined ⇒ the excess gates; fewer ⇒ the stale
+    surplus is itself an error until the baseline is re-trimmed.
+    """
+
+    path: str
+    entries: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+
+def load_baseline(path: pathlib.Path | str) -> Baseline:
+    """Parse a baseline file; any malformation fails closed.
+
+    A corrupt or wrong-schema baseline raises ``ValueError`` — silently
+    treating it as empty would let every baselined finding gate (noisy)
+    or, worse, a truncated file pass regressions (unsafe).
+    """
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported schema "
+            f"{payload.get('version') if isinstance(payload, dict) else '?'!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    baseline = Baseline(path=str(path))
+    raw = payload.get("entries")
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path} has no 'entries' list")
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path}: non-object entry {entry!r}")
+        try:
+            key = (str(entry["code"]), str(entry["file"]), str(entry["obj"]))
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"baseline {path}: bad entry {entry!r}") from exc
+        baseline.entries[key] = baseline.entries.get(key, 0) + count
+    return baseline
+
+
+def _baseline_key(diag: Diagnostic) -> tuple[str, str, str]:
+    return (diag.code, diag.file or "", diag.obj or "")
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Baseline
+) -> tuple[list[Diagnostic], list[Diagnostic], list[Diagnostic]]:
+    """Split findings against the baseline (line numbers ignored on match).
+
+    Returns ``(gating, baselined, stale)``:
+
+    - *gating*: findings with no baseline budget left — they fail CI;
+    - *baselined*: findings absorbed by the baseline — reported, but
+      they do not gate;
+    - *stale*: synthesized error diagnostics for baseline entries whose
+      findings no longer exist — the fix must be banked by removing the
+      entry, keeping the ratchet one-way.
+    """
+    budget = dict(baseline.entries)
+    gating: list[Diagnostic] = []
+    baselined: list[Diagnostic] = []
+    for diag in sorted(diagnostics, key=Diagnostic.sort_key):
+        key = _baseline_key(diag)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(diag)
+        else:
+            gating.append(diag)
+    stale: list[Diagnostic] = []
+    for (code, file, obj), left in sorted(budget.items()):
+        if left <= 0:
+            continue
+        stale.append(
+            Diagnostic(
+                code="REP506",
+                severity=Severity.ERROR,
+                message=(
+                    f"stale baseline entry: {left} finding(s) of {code} at "
+                    f"{file or '<any>'} ({obj or '<any>'}) no longer occur"
+                ),
+                source="codelint",
+                file=baseline.path,
+                obj=code,
+                hint="bank the fix: delete the entry from the baseline file",
+            )
+        )
+    return gating, baselined, stale

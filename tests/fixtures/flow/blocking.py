@@ -1,0 +1,33 @@
+"""Seeded REP501 defects: blocking calls reachable from the event loop."""
+
+import subprocess
+import time
+
+
+class ServiceClient:
+    """Sync facade over the async service (blocks by contract)."""
+
+    def solve(self, payload):
+        """Blocking round-trip to the service."""
+        return payload
+
+
+def fetch_rows():
+    """Called from the loop without an executor hop: blocks on subprocess IO."""
+    return subprocess.run(["ls"])  # seeded REP501 (reached via handler)
+
+
+def crunch(batch):
+    """Safe: only ever runs on the worker side of an executor hop."""
+    time.sleep(0.01)  # clean: worker context only
+    return batch
+
+
+async def handler(pool):
+    """Event-loop entry with three seeded defects and one legal hop."""
+    time.sleep(0.5)  # seeded REP501: direct blocking call
+    rows = fetch_rows()
+    client = ServiceClient()
+    client.solve(rows)  # seeded REP501: sync facade method
+    await pool.run(crunch, rows, mode="thread")  # executor hop: clean
+    return rows

@@ -1,0 +1,31 @@
+"""Clean concurrency patterns: negatives the REP5xx rules must not flag."""
+
+import asyncio
+import threading
+import time
+
+
+def work(row):
+    """Module-level worker (picklable)."""
+    time.sleep(0.001)  # clean: worker context only
+    return row
+
+
+class Runner:
+    """Does everything by the book."""
+
+    def __init__(self):
+        """One lock guarding the shared results list."""
+        self._lock = threading.Lock()
+        self._results = []
+
+    async def run_all(self, pool, rows):
+        """Executor hops and awaited coroutines only."""
+        return await asyncio.gather(*[self._one(pool, row) for row in rows])
+
+    async def _one(self, pool, row):
+        """One hop per row; the shared mutation holds the lock."""
+        value = await pool.run(work, row, mode="process")
+        with self._lock:
+            self._results.append(value)
+        return value

@@ -1,0 +1,45 @@
+"""Seeded REP503 defects: the same lock pairs taken in opposite orders."""
+
+import threading
+
+
+class Ledger:
+    """Two inversions: one syntactic, one through a call under a lock."""
+
+    def __init__(self):
+        """Three constructor-witnessed locks."""
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._log = threading.Lock()
+
+    def credit(self):
+        """Acquires a then b."""
+        with self._a:
+            with self._b:  # seeded REP503 (other side in debit)
+                return 1
+
+    def debit(self):
+        """Acquires b then a — the inversion."""
+        with self._b:
+            with self._a:
+                return 2
+
+    def audit(self):
+        """Cross-function witness: holds log, calls a helper that takes a."""
+        with self._log:
+            return self._locked_total()  # seeded REP503 (other side in total)
+
+    def _locked_total(self):
+        """Acquires a (under the caller's log lock)."""
+        with self._a:
+            return 3
+
+    def total(self):
+        """Opposite cross-function order: holds a, calls a log-taking helper."""
+        with self._a:
+            return self._note()
+
+    def _note(self):
+        """Acquires log."""
+        with self._log:
+            return 4

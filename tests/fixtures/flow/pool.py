@@ -1,0 +1,29 @@
+"""Seeded REP504 defects: unpicklable callables handed to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_job(row):
+    """Module-level worker: picklable, the clean contract."""
+    return row * 2
+
+
+class Dispatcher:
+    """Submits work three bad ways and one good way."""
+
+    def _bound(self, row):
+        """Bound-method target."""
+        return row
+
+    def fan_out(self, rows):
+        """Three seeded defects, one clean submission."""
+        pool = ProcessPoolExecutor()
+        pool.submit(lambda: rows)  # seeded REP504: lambda
+        pool.submit(self._bound, rows)  # seeded REP504: bound method
+
+        def closure(row):
+            """Captures ``rows`` from the enclosing scope."""
+            return [*rows, row]
+
+        pool.submit(closure, rows)  # seeded REP504: closure
+        pool.submit(run_job, rows)  # clean: module-level function

@@ -1,0 +1,24 @@
+"""Seeded REP505 defect: one counter written from both execution contexts."""
+
+import threading
+
+
+class Stats:
+    """A counter touched from the loop and from a thread worker."""
+
+    def __init__(self):
+        """Init-time writes are exempt (the object is not shared yet)."""
+        self._lock = threading.Lock()
+        self.pending = 0
+        self.done = 0
+
+    async def enqueue(self, pool):
+        """Loop side mutates without the lock."""
+        self.pending += 1  # seeded REP505 (drain writes it from a thread)
+        await pool.run(self.drain, mode="thread")
+
+    def drain(self):
+        """Thread side mutates the same state, also without the lock."""
+        self.pending -= 1
+        with self._lock:
+            self.done += 1  # clean: every cross-context write is locked

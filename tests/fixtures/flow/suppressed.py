@@ -1,0 +1,12 @@
+# nck: noqa-file[REP502]
+"""File-level suppression fixture: the defect below must stay silent."""
+
+
+async def ping():
+    """A coroutine."""
+    return 0
+
+
+def kick():
+    """Would be REP502 without the file-level noqa."""
+    ping()

@@ -1,0 +1,20 @@
+"""Seeded REP502 defects: coroutines created but never awaited."""
+
+import asyncio
+
+
+async def refresh():
+    """Recompute the caches."""
+    return 1
+
+
+async def main():
+    """One seeded defect, two clean scheduling idioms."""
+    refresh()  # seeded REP502: coroutine dropped on the floor
+    asyncio.create_task(refresh())  # clean: scheduled
+    await refresh()  # clean: awaited
+
+
+def fire():
+    """Sync caller making the same mistake."""
+    refresh()  # seeded REP502

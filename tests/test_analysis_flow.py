@@ -1,0 +1,352 @@
+"""The REP5xx dataflow engine: fixture corpus, cache, ratchet, SARIF.
+
+The fixture corpus under ``tests/fixtures/flow/`` seeds every defect
+class the rules claim to catch (each marked ``seeded REP5xx`` in the
+source) next to the clean idioms they must not flag; these tests pin
+the exact findings.  The incremental-cache tests prove the TemplateStore
+contract (warm == cold findings, corruption tolerated as misses) and
+the baseline tests pin the ratchet's three-way split.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.codelint import CODE_RULES, analyze_package, lint_package
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow import (
+    CTX_LOOP,
+    CTX_PROCESS,
+    CTX_THREAD,
+    ModuleSummary,
+)
+from repro.analysis.lintcache import (
+    Baseline,
+    LintCache,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.report import render_sarif
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "flow"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """One cold analysis of the seeded-defect corpus, shared per module."""
+    return analyze_package(FIXTURES)
+
+
+def by_code(result, code):
+    return [d for d in result.diagnostics if d.code == code]
+
+
+class TestFixtureCorpus:
+    """Each REP501–505 rule catches every seeded defect, nothing else."""
+
+    def test_seeded_defect_census(self, corpus):
+        tally = {}
+        for diag in corpus.diagnostics:
+            tally[diag.code] = tally.get(diag.code, 0) + 1
+        assert tally == {
+            "REP501": 3,
+            "REP502": 2,
+            "REP503": 2,
+            "REP504": 3,
+            "REP505": 1,
+        }
+
+    def test_rep501_direct_propagated_and_facade(self, corpus):
+        found = by_code(corpus, "REP501")
+        messages = " | ".join(d.message for d in found)
+        assert all(d.file == "blocking.py" for d in found)
+        assert "'time.sleep' inside 'async def handler'" in messages
+        assert "'subprocess.run' reachable from 'async def handler'" in messages
+        assert "via 'fetch_rows'" in messages
+        assert "ServiceClient.solve" in messages
+        # The executor hop is the legal escape: crunch's time.sleep is
+        # worker-side only and must not be flagged.
+        assert not any(d.obj == "crunch" for d in found)
+
+    def test_rep502_bare_statement_only(self, corpus):
+        found = by_code(corpus, "REP502")
+        assert {d.obj for d in found} == {"main", "fire"}
+        assert all("never awaited or scheduled" in d.message for d in found)
+        # create_task(...) and await refresh() stay clean: exactly one
+        # finding inside main.
+        assert sum(1 for d in found if d.obj == "main") == 1
+
+    def test_rep503_both_witness_kinds(self, corpus):
+        found = by_code(corpus, "REP503")
+        messages = " | ".join(d.message for d in found)
+        assert all(d.file == "locks.py" for d in found)
+        # Syntactic nesting inversion (credit vs debit) ...
+        assert "Ledger.credit" in messages and "Ledger.debit" in messages
+        # ... and the call-under-lock inversion (audit vs total).
+        assert "Ledger.audit" in messages and "Ledger.total" in messages
+
+    def test_rep504_lambda_bound_method_closure(self, corpus):
+        found = by_code(corpus, "REP504")
+        messages = [d.message for d in found]
+        assert all(d.file == "pool.py" for d in found)
+        assert any("lambda" in m for m in messages)
+        assert any("bound method 'self._bound'" in m for m in messages)
+        assert any("closure" in m and "<locals>.closure" in m for m in messages)
+        # run_job (module-level) must stay clean.
+        assert not any("run_job" in m for m in messages)
+
+    def test_rep505_cross_context_unlocked_only(self, corpus):
+        (found,) = by_code(corpus, "REP505")
+        assert found.file == "shared.py"
+        assert "Stats.pending" in found.message
+        assert "event loop" in found.message and "worker context" in found.message
+        # Stats.done is always mutated under the lock — never flagged.
+        assert "Stats.done" not in found.message
+
+    def test_clean_module_has_no_findings(self, corpus):
+        assert not any(d.file == "clean.py" for d in corpus.diagnostics)
+
+    def test_noqa_file_suppresses_flow_findings(self, corpus):
+        assert not any(d.file == "suppressed.py" for d in corpus.diagnostics)
+
+
+class TestContextPropagation:
+    """The coloring the rules rely on, pinned on the corpus graph."""
+
+    def test_async_def_seeds_event_loop(self, corpus):
+        contexts = corpus.graph.contexts
+        assert CTX_LOOP in contexts["blocking::handler"]
+
+    def test_plain_call_propagates_loop_context(self, corpus):
+        contexts = corpus.graph.contexts
+        assert CTX_LOOP in contexts["blocking::fetch_rows"]
+
+    def test_submission_seeds_worker_without_loop(self, corpus):
+        contexts = corpus.graph.contexts["blocking::crunch"]
+        assert CTX_THREAD in contexts
+        assert CTX_LOOP not in contexts
+
+    def test_process_mode_submission_seeds_process_context(self, corpus):
+        contexts = corpus.graph.contexts["clean::work"]
+        assert CTX_PROCESS in contexts
+
+    def test_dependents_walks_the_call_graph(self, corpus):
+        # handler -> fetch_rows are both in blocking; a change to
+        # blocking affects only blocking (no cross-module callers), but
+        # the module itself is always in its own frontier.
+        assert "blocking" in corpus.graph.dependents({"blocking"})
+
+    def test_summary_round_trips_through_json(self, corpus):
+        for summary in corpus.graph.modules.values():
+            payload = json.loads(json.dumps(summary.to_dict()))
+            rebuilt = ModuleSummary.from_dict(payload)
+            assert rebuilt.to_dict() == summary.to_dict()
+
+
+class TestIncrementalCache:
+    """Warm == cold findings; corruption and staleness degrade to misses."""
+
+    def test_warm_run_is_identical_and_all_hits(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        cold = analyze_package(FIXTURES, cache=cache)
+        assert cache.misses == len(cold.changed) > 0
+        warm_cache = LintCache(tmp_path / "cache")
+        warm = analyze_package(FIXTURES, cache=warm_cache)
+        assert warm_cache.hits > 0 and warm_cache.misses == 0
+        assert warm.changed == [] and warm.affected == set()
+        assert [d.to_dict() for d in warm.diagnostics] == [
+            d.to_dict() for d in cold.diagnostics
+        ]
+
+    def test_content_change_invalidates_and_recomputes(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        src = root / "mod.py"
+        src.write_text(
+            '"""Fixture."""\n\n\nasync def go():\n    """Doc."""\n    return 1\n'
+        )
+        cache = LintCache(tmp_path / "cache")
+        analyze_package(root, cache=cache)
+        # Introduce a defect; the warm run must see it immediately.
+        src.write_text(
+            '"""Fixture."""\n\n\nasync def go():\n    """Doc."""\n    return 1\n'
+            "\n\ndef kick():\n    '''Doc.'''\n    go()\n"
+        )
+        warm_cache = LintCache(tmp_path / "cache")
+        result = analyze_package(root, cache=warm_cache)
+        assert warm_cache.invalidations == 1
+        assert result.changed == ["mod.py"]
+        assert "mod" in result.affected
+        assert any(d.code == "REP502" for d in result.diagnostics)
+
+    def test_corrupt_entries_degrade_to_misses(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        analyze_package(FIXTURES, cache=cache)
+        entries = sorted((tmp_path / "cache").glob("*.json"))
+        assert entries
+        entries[0].write_text("{truncated")
+        entries[1].write_text(json.dumps({"magic": "other", "schema": 1}))
+        warm_cache = LintCache(tmp_path / "cache")
+        result = analyze_package(FIXTURES, cache=warm_cache)
+        assert warm_cache.misses == 2
+        assert len(result.changed) == 2
+        cold = analyze_package(FIXTURES)
+        assert [d.to_dict() for d in result.diagnostics] == [
+            d.to_dict() for d in cold.diagnostics
+        ]
+
+    def test_unwritable_cache_directory_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        cache = LintCache(blocker / "cache")
+        result = analyze_package(FIXTURES, cache=cache)
+        assert len(result.diagnostics) == 11
+
+    def test_parallel_cold_matches_serial(self, tmp_path):
+        serial = analyze_package(FIXTURES)
+        parallel = analyze_package(FIXTURES, jobs=2)
+        assert [d.to_dict() for d in parallel.diagnostics] == [
+            d.to_dict() for d in serial.diagnostics
+        ]
+
+    def test_rule_subset_has_its_own_fingerprints(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        analyze_package(FIXTURES, cache=cache)
+        subset_cache = LintCache(tmp_path / "cache")
+        subset = analyze_package(
+            FIXTURES, rules=("REP501",), cache=subset_cache
+        )
+        # A different rule set must never be served the full run's
+        # cached findings.
+        assert subset_cache.hits == 0
+        assert {d.code for d in subset.diagnostics} == {"REP501"}
+
+
+class TestBaselineRatchet:
+    """New findings gate, baselined ones warn, fixed ones must be removed."""
+
+    def _diag(self, code="REP501", file="a.py", obj="f", line=3):
+        return Diagnostic(
+            code=code,
+            severity=Severity.ERROR,
+            message="m",
+            source="codelint",
+            file=file,
+            line=line,
+            obj=obj,
+        )
+
+    def test_three_way_split(self, tmp_path):
+        baseline = Baseline(
+            path="lint-baseline.json",
+            entries={
+                ("REP501", "a.py", "f"): 1,
+                ("REP505", "gone.py", "g"): 1,
+            },
+        )
+        diags = [self._diag(), self._diag(line=9), self._diag(code="REP502")]
+        gating, baselined, stale = apply_baseline(diags, baseline)
+        # One REP501 absorbed by the budget, the second gates; the
+        # REP502 is new and gates; the REP505 entry is stale.
+        assert len(baselined) == 1 and baselined[0].code == "REP501"
+        assert sorted(d.code for d in gating) == ["REP501", "REP502"]
+        (stale_diag,) = stale
+        assert stale_diag.code == "REP506"
+        assert stale_diag.severity == Severity.ERROR
+        assert "no longer occur" in stale_diag.message
+
+    def test_line_numbers_do_not_break_matching(self):
+        baseline = Baseline(path="b", entries={("REP501", "a.py", "f"): 1})
+        gating, baselined, stale = apply_baseline(
+            [self._diag(line=999)], baseline
+        )
+        assert gating == [] and stale == [] and len(baselined) == 1
+
+    def test_load_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {"code": "REP505", "file": "x.py", "obj": "C.m"},
+                        {"code": "REP505", "file": "x.py", "obj": "C.m"},
+                    ],
+                }
+            )
+        )
+        baseline = load_baseline(path)
+        assert baseline.entries == {("REP505", "x.py", "C.m"): 2}
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{truncated",
+            json.dumps({"version": 99, "entries": []}),
+            json.dumps({"version": 1}),
+            json.dumps({"version": 1, "entries": [{"code": "REP501"}]}),
+        ],
+    )
+    def test_malformed_baselines_fail_closed(self, tmp_path, text):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(text)
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_shipped_baseline_is_valid_and_empty(self):
+        shipped = pathlib.Path(__file__).parent.parent / "lint-baseline.json"
+        baseline = load_baseline(shipped)
+        assert baseline.entries == {}
+
+
+class TestSarif:
+    """The SARIF 2.1.0 export shape."""
+
+    def test_sarif_envelope(self, corpus):
+        payload = json.loads(
+            render_sarif(corpus.diagnostics, rules=CODE_RULES)
+        )
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(
+            {"REP501", "REP502", "REP503", "REP504", "REP505"}
+        )
+        assert all("shortDescription" in r for r in driver["rules"])
+        assert len(run["results"]) == len(corpus.diagnostics)
+        for result in run["results"]:
+            assert result["level"] in ("error", "warning", "note")
+            (location,) = result["locations"]
+            assert location["physicalLocation"]["artifactLocation"]["uri"]
+
+    def test_sarif_severity_mapping(self):
+        diags = [
+            Diagnostic(code="X1", severity=s, message="m", file="f.py", line=1)
+            for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        ]
+        payload = json.loads(render_sarif(diags))
+        levels = [r["level"] for r in payload["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]
+
+
+class TestRealTree:
+    """The acceptance pin: the shipped package is REP5xx-clean."""
+
+    def test_flow_rules_report_nothing_on_src_repro(self):
+        diags = lint_package(
+            rules=("REP501", "REP502", "REP503", "REP504", "REP505")
+        )
+        assert diags == [], [d.render() for d in diags]
+
+    def test_real_service_layer_is_colored(self):
+        result = analyze_package(rules=("REP501",))
+        contexts = result.graph.contexts
+        assert CTX_LOOP in contexts["service.scheduler::JobScheduler._pop"]
+        worker = contexts["service.worker::execute_request"]
+        assert CTX_THREAD in worker and CTX_PROCESS in worker
+        assert CTX_LOOP not in worker

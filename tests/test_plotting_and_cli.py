@@ -123,6 +123,100 @@ class TestLintCLI:
         assert excinfo.value.code == 2
 
 
+class TestSelfLintCLI:
+    """``lint --self``: cache/changed/baseline/SARIF flags and exit codes."""
+
+    def test_json_envelope_is_schema_stable(self, capsys, tmp_path):
+        import json
+
+        argv = ["lint", "--self", "--json", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert set(payload) == {"version", "diagnostics", "summary"}
+        assert payload["summary"] == {"error": 0, "warning": 0, "info": 0}
+
+    def test_sarif_envelope_is_schema_stable(self, capsys, tmp_path):
+        import json
+
+        argv = ["lint", "--self", "--sarif", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"] == []  # the shipped tree is clean
+
+    def test_json_and_sarif_are_mutually_exclusive(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--self", "--json", "--sarif"])
+        assert excinfo.value.code == 2
+
+    def test_changed_warm_run_reports_empty_frontier(self, capsys, tmp_path):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(["lint", "--self"] + cache) == 0  # prime the cache
+        capsys.readouterr()
+        assert main(["lint", "--self", "--changed"] + cache) == 0
+        out = capsys.readouterr().out
+        assert "changed: 0 file(s) re-analyzed" in out
+        assert "clean" in out
+
+    def test_changed_requires_self(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "3sat", "--changed"])
+        assert excinfo.value.code == 2
+        assert "--changed requires --self" in capsys.readouterr().err
+
+    def test_shipped_baseline_passes(self, capsys, tmp_path):
+        argv = [
+            "lint", "--self",
+            "--baseline", "lint-baseline.json",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+
+    def test_stale_baseline_entry_fails_the_ratchet(self, capsys, tmp_path):
+        import json
+
+        stale = tmp_path / "baseline.json"
+        stale.write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {"code": "REP501", "file": "repro/gone.py", "obj": "f"},
+            ],
+        }))
+        argv = [
+            "lint", "--self",
+            "--baseline", str(stale),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 2
+        assert "REP506" in capsys.readouterr().out
+
+    def test_corrupt_baseline_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{truncated")
+        argv = ["lint", "--self", "--baseline", str(bad), "--no-cache"]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_no_cache_and_jobs_flags_accepted(self, capsys):
+        assert main(["lint", "--self", "--no-cache", "--jobs", "2"]) == 0
+
+    def test_lint_subparser_exposes_incremental_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in (
+            "--sarif", "--changed", "--baseline",
+            "--cache-dir", "--no-cache", "--jobs",
+        ):
+            assert flag in out, flag
+
+
 class TestRegistryHelpParity:
     """Regression: --help derives from COMMANDS and must list them all.
 
