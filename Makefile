@@ -19,7 +19,7 @@ docs-check:      ## execute every runnable code block in README.md and docs/
 
 lint:            ## static analysis: self-lint the codebase + analyzer test suites
 	$(PYTHON) -m repro lint --self
-	$(PYTHON) -m pytest tests/test_analysis_program.py tests/test_analysis_codelint.py tests/test_analysis_flow.py -q
+	$(PYTHON) -m pytest tests/test_analysis_program.py tests/test_analysis_codelint.py tests/test_analysis_flow.py tests/test_analysis_taint.py -q
 
 lint-ratchet:    ## self-lint gated by the checked-in baseline (new findings fail, stale entries fail)
 	$(PYTHON) -m repro lint --self --baseline lint-baseline.json

@@ -53,6 +53,21 @@ def _findings_bytes(result) -> bytes:
     ).encode()
 
 
+def _taint_facts_bytes(result) -> bytes:
+    """Canonical bytes of the graph's determinism facts (sinks + taint)."""
+    return json.dumps(
+        {
+            fid: {
+                "sink": fn.sink,
+                "taint": fn.taint,
+                "returns_unordered": fn.returns_unordered,
+            }
+            for fid, fn in sorted(result.graph.functions.items())
+        },
+        sort_keys=True,
+    ).encode()
+
+
 def test_warm_cache_vs_cold_analysis(benchmark, tmp_path_factory):
     cache_root = tmp_path_factory.mktemp("lintcache")
 
@@ -79,6 +94,13 @@ def test_warm_cache_vs_cold_analysis(benchmark, tmp_path_factory):
 
     # Byte-identical findings: the cache may only change the time.
     assert _findings_bytes(warm) == _findings_bytes(cold)
+
+    # The REP6xx substrate rides the same cache: warm summaries must
+    # carry the identical sink/taint facts, and the real tree's sink
+    # census must be non-empty (a vacuous pass would hide regressions).
+    assert _taint_facts_bytes(warm) == _taint_facts_bytes(cold)
+    sinks = {fid for fid, fn in cold.graph.functions.items() if fn.sink}
+    assert sinks, "no @determinism_critical sinks visible to the analysis"
 
     cold_ms = 1e3 * min(cold_s)
     warm_ms = 1e3 * min(warm_s)

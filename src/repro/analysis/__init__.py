@@ -16,7 +16,11 @@ model and one reporting layer:
   ``# nck: noqa[CODE]`` and file-level ``# nck: noqa-file[CODE]``
   suppressions.  Its REP5xx concurrency rules run over the whole-package
   dataflow graph built by :mod:`repro.analysis.flow` (rule bodies in
-  :mod:`repro.analysis.flowrules`), with incremental on-disk caching,
+  :mod:`repro.analysis.flowrules`), and its REP6xx determinism-taint
+  rules (:mod:`repro.analysis.taint` reachability,
+  :mod:`repro.analysis.taintrules` rule bodies) walk the same graph
+  from the ``@determinism_critical`` sink contracts declared in
+  :mod:`repro.determinism` — both with incremental on-disk caching,
   parallel cold analysis, and the CI baseline ratchet in
   :mod:`repro.analysis.lintcache`.
 * :mod:`repro.analysis.certify` — the **certification engine**:
@@ -71,6 +75,8 @@ from .diagnostics import (
 )
 from .program import PROGRAM_RULES, estimate_qubits, lint_program
 from .report import render_json, render_text
+from .taint import declared_sinks, looks_like_sink, sink_path, sink_reach
+from .taintrules import TAINT_RULES, run_taint_rules
 
 __all__ = [
     "Baseline",
@@ -90,12 +96,14 @@ __all__ = [
     "ProgramCertificate",
     "RuleInfo",
     "Severity",
+    "TAINT_RULES",
     "analyze_package",
     "apply_baseline",
     "build_graph",
     "certificate_diagnostics",
     "certify_program",
     "check_energy",
+    "declared_sinks",
     "default_cache_dir",
     "encoding_diagnostics",
     "estimate_qubits",
@@ -106,10 +114,14 @@ __all__ = [
     "lint_package",
     "lint_program",
     "load_baseline",
+    "looks_like_sink",
     "recheck_certificate",
     "render_json",
     "render_text",
     "run_flow_rules",
+    "run_taint_rules",
     "severity_counts",
+    "sink_path",
+    "sink_reach",
     "summarize_module",
 ]

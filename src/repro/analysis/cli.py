@@ -9,12 +9,14 @@
 ``python -m repro lint --self``
     Run the codebase lint engine over the installed ``repro`` package:
     the per-module REP1xx–4xx rules plus the REP5xx concurrency
-    dataflow rules, with incremental on-disk caching (``--cache-dir``,
-    ``--no-cache``), parallel cold analysis (``--jobs``), a
-    changed-files-plus-dependents report filter (``--changed``), SARIF
-    export (``--sarif``), and the CI baseline ratchet (``--baseline``:
-    baselined findings are reported but do not gate, new findings fail,
-    fixed-but-still-listed entries fail until removed).
+    dataflow rules and the REP6xx determinism-taint rules, with
+    incremental on-disk caching (``--cache-dir``, ``--no-cache``),
+    parallel cold analysis (``--jobs``), a changed-files-plus-dependents
+    report filter (``--changed``), SARIF export (``--sarif``), the CI
+    baseline ratchet (``--baseline``: baselined findings are reported
+    but do not gate, new findings fail, fixed-but-still-listed entries
+    fail until removed), and ``--sinks`` to print the registered
+    determinism-critical sink contracts instead of linting.
 
 ``python -m repro certify <problem> [--n N] [--out FILE]`` compiles the
 same instance and runs the compositional certification engine
@@ -108,6 +110,12 @@ def configure_lint(parser: argparse.ArgumentParser) -> None:
         help="analyze cold files across N worker processes",
     )
     parser.add_argument(
+        "--sinks",
+        action="store_true",
+        help="with --self: print the registered determinism-critical sink "
+        "contracts (the REP6xx taint roots) and exit",
+    )
+    parser.add_argument(
         "--hard-scale",
         type=float,
         default=None,
@@ -137,6 +145,23 @@ def run_lint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         raise SystemExit(2)
+    if args.sinks:
+        if not args.self_lint:
+            print(
+                "repro lint: error: --sinks requires --self",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        from ..determinism import load_declared_sinks
+
+        contracts = load_declared_sinks()
+        if not contracts:
+            print("no determinism-critical sinks registered")
+            return 1
+        width = max(len(key) for key in contracts)
+        for key, contract in contracts.items():
+            print(f"{key:<{width}}  {contract.module}.{contract.qualname}")
+        return 0
     changed_note: str | None = None
     if args.self_lint:
         from .codelint import analyze_package

@@ -34,6 +34,12 @@ REP501+  —         concurrency dataflow rules (blocking-in-async,
                    :mod:`repro.analysis.flowrules`, run over the
                    whole-package :class:`~repro.analysis.flow.FlowGraph`
                    by :func:`analyze_package`
+REP601+  —         determinism-taint rules (unordered iteration,
+                   ambient state, float accumulation, identity-based
+                   key material, undeclared sinks) — defined in
+                   :mod:`repro.analysis.taintrules`, run over the
+                   declared-sink reachability of the same graph by
+                   :func:`analyze_package`
 =======  ========  =====================================================
 
 Per-line suppression uses ``# nck: noqa`` (everything) or
@@ -66,6 +72,7 @@ from .diagnostics import Diagnostic, RuleInfo, Severity
 from .flow import FlowGraph, ModuleSummary, build_graph, summarize_module
 from .flowrules import FLOW_RULES, run_flow_rules
 from .lintcache import FileAnalysis, LintCache, diagnostic_from_dict
+from .taintrules import TAINT_RULES, run_taint_rules
 
 #: Modules whose whole public surface must carry docstrings (REP101).
 #: This is the load-bearing API surface; adding a module here is the
@@ -77,6 +84,7 @@ DOCSTRING_MODULES: tuple[str, ...] = (
     "telemetry/export.py",
     "core/env.py",
     "core/solution.py",
+    "determinism.py",
     "compile/program.py",
     "compile/cache.py",
     "compile/encodings.py",
@@ -107,6 +115,8 @@ DOCSTRING_MODULES: tuple[str, ...] = (
     "analysis/encodings.py",
     "analysis/flow.py",
     "analysis/flowrules.py",
+    "analysis/taint.py",
+    "analysis/taintrules.py",
     "analysis/lintcache.py",
     "service/__init__.py",
     "service/config.py",
@@ -888,7 +898,7 @@ def lint_file(
     selected = set(rules) if rules is not None else set(CODE_RULES)
     diagnostics: list[Diagnostic] = []
     for code, info in CODE_RULES.items():
-        if code in selected and code not in FLOW_RULES:
+        if code in selected and code not in FLOW_RULES and code not in TAINT_RULES:
             diagnostics.extend(info.check(module))
     return sorted(_apply_suppressions(module, diagnostics), key=Diagnostic.sort_key)
 
@@ -912,7 +922,7 @@ def analyze_file(
     selected = set(rules)
     diagnostics: list[Diagnostic] = []
     for code, info in CODE_RULES.items():
-        if code in selected and code not in FLOW_RULES:
+        if code in selected and code not in FLOW_RULES and code not in TAINT_RULES:
             diagnostics.extend(info.check(module))
     diagnostics = sorted(
         _apply_suppressions(module, diagnostics), key=Diagnostic.sort_key
@@ -1093,6 +1103,9 @@ def analyze_package(
     flow_selected = selected & set(FLOW_RULES)
     if flow_selected:
         diagnostics.extend(run_flow_rules(graph, flow_selected))
+    taint_selected = selected & set(TAINT_RULES)
+    if taint_selected:
+        diagnostics.extend(run_taint_rules(graph, taint_selected))
     changed_mods = {
         s.modname for s in summaries if s.relpath in set(changed)
     }
@@ -1123,7 +1136,9 @@ def lint_package(
     return analyze_package(root, rules=rules, cache=cache, jobs=jobs).diagnostics
 
 
-# The flow rules join the registry so selection, catalogs, and parity
-# tests see one rule set; the engine dispatches them by scope (per-module
-# loops above skip ``FLOW_RULES``, ``analyze_package`` runs them).
+# The flow and taint rules join the registry so selection, catalogs, and
+# parity tests see one rule set; the engine dispatches them by scope
+# (per-module loops above skip ``FLOW_RULES``/``TAINT_RULES``,
+# ``analyze_package`` runs them over the linked graph).
 CODE_RULES.update(FLOW_RULES)
+CODE_RULES.update(TAINT_RULES)

@@ -48,6 +48,7 @@ from .. import telemetry
 
 __all__ = [
     "ENGINE_VERSION",
+    "FACT_KINDS",
     "CTX_LOOP",
     "CTX_THREAD",
     "CTX_PROCESS",
@@ -60,8 +61,23 @@ __all__ = [
 
 #: Version of the summary schema *and* the flow-rule semantics; part of
 #: every cache fingerprint, so bumping it invalidates all cached
-#: analyses at once.
-ENGINE_VERSION = 1
+#: analyses at once.  Version 2 added the taint fact kinds
+#: (:data:`FACT_KINDS`) consumed by :mod:`repro.analysis.taintrules`.
+ENGINE_VERSION = 2
+
+#: The taint fact kinds carried on :class:`FunctionSummary` for the
+#: REP6xx determinism rules.  The tuple is folded into every lint-cache
+#: fingerprint (:meth:`repro.analysis.lintcache.LintCache.fingerprint`),
+#: so adding a kind — even without touching :data:`ENGINE_VERSION` —
+#: invalidates cached summaries that predate it.
+FACT_KINDS: tuple[str, ...] = (
+    "unordered-iter",
+    "ambient-attr",
+    "float-accum",
+    "identity",
+    "sink",
+    "returns-unordered",
+)
 
 #: Execution contexts propagated through the call graph.
 CTX_LOOP = "event-loop"
@@ -104,6 +120,31 @@ _SUBMIT_METHODS = frozenset({"submit", "run", "apply_async"})
 #: before the object is shared, so REP505 ignores them.
 INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__init_subclass__"})
 
+#: Builtin constructors whose results iterate in hash order — the
+#: unordered-collection witnesses REP601/REP603 build on.
+_UNORDERED_CTORS = frozenset({"set", "frozenset"})
+
+#: Builtin consumers that neutralize iteration order (sorting, pure
+#: cardinality/membership reductions, set-to-set transforms).  A
+#: witnessed unordered value in one of these positions is order-safe.
+#: ``sum`` appears here because accumulation is recorded separately as
+#: a ``float-accum`` fact, not as an ordered materialization.
+_ORDER_SANITIZERS = frozenset(
+    {"sorted", "min", "max", "len", "any", "all", "set", "frozenset", "sum"}
+)
+
+#: Builtin conversions that freeze iteration order into ordered output.
+_ORDERING_CONVERSIONS = frozenset({"list", "tuple"})
+
+#: Identity/hash builtins whose output depends on the process — object
+#: addresses (``id``, default ``repr``) or ``PYTHONHASHSEED`` (``hash``
+#: of str/bytes) — recorded as ``identity`` facts for REP604.
+_IDENTITY_BUILTINS = frozenset({"id", "hash", "repr"})
+
+#: Dotted ambient-state objects whose attribute/subscript *reads* are
+#: recorded even without a call (``os.environ["KEY"]``).
+_AMBIENT_ATTRS = ("os.environ", "sys.argv")
+
 
 # ---------------------------------------------------------------------------
 # Summary data model (everything JSON-round-trippable)
@@ -120,6 +161,14 @@ class FunctionSummary:
     process pool).  The fact lists hold plain dicts, shaped as
     documented on :func:`summarize_module`, so the whole summary
     serializes with ``json.dumps`` untouched.
+
+    The determinism facts (``taint``, ``sink``, ``returns_unordered`` —
+    see :data:`FACT_KINDS`) feed the REP6xx rules in
+    :mod:`repro.analysis.taintrules`: ``taint`` holds witnessed
+    nondeterminism sources inside the body, ``sink`` the
+    ``@determinism_critical`` declaration if present, and
+    ``returns_unordered`` whether any ``return`` hands back a witnessed
+    unordered collection (the interprocedural hop REP601 follows).
     """
 
     qual: str
@@ -133,6 +182,9 @@ class FunctionSummary:
     nested_locks: list[dict] = field(default_factory=list)
     calls_under_lock: list[dict] = field(default_factory=list)
     mutations: list[dict] = field(default_factory=list)
+    taint: list[dict] = field(default_factory=list)
+    sink: dict | None = None
+    returns_unordered: bool = False
 
     def to_dict(self) -> dict:
         """JSON-ready mapping."""
@@ -148,6 +200,9 @@ class FunctionSummary:
             "nested_locks": self.nested_locks,
             "calls_under_lock": self.calls_under_lock,
             "mutations": self.mutations,
+            "taint": self.taint,
+            "sink": self.sink,
+            "returns_unordered": self.returns_unordered,
         }
 
     @classmethod
@@ -165,6 +220,9 @@ class FunctionSummary:
             nested_locks=list(payload["nested_locks"]),
             calls_under_lock=list(payload["calls_under_lock"]),
             mutations=list(payload["mutations"]),
+            taint=list(payload["taint"]),
+            sink=payload["sink"],
+            returns_unordered=bool(payload["returns_unordered"]),
         )
 
 
@@ -454,6 +512,7 @@ class _FunctionScanner:
         self.locks = locks
         self.module_globals = module_globals
         self.local_types: dict[str, list[str]] = {}
+        self.local_sets: set[str] = set()
         self.declared_global: set[str] = set()
 
     def scan(self) -> FunctionSummary:
@@ -461,6 +520,7 @@ class _FunctionScanner:
         self._prescan_locals(self.fn)
         for stmt in self.fn.body:
             self._stmt(stmt, held=[])
+        self._scan_taint()
         return self.summary
 
     # -- helpers ----------------------------------------------------------
@@ -472,8 +532,19 @@ class _FunctionScanner:
                 continue
             if isinstance(node, ast.Global):
                 self.declared_global.update(node.names)
-            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
-                ctor = _chain_of(node.value.func)
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, (ast.Set, ast.SetComp)) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in _UNORDERED_CTORS
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.local_sets.add(target.id)
+                if not isinstance(value, ast.Call):
+                    continue
+                ctor = _chain_of(value.func)
                 if ctor is None:
                     continue
                 for target in node.targets:
@@ -642,6 +713,171 @@ class _FunctionScanner:
                         {"lock": lock, "ref": ref, "line": node.lineno}
                     )
 
+    # -- determinism facts (the REP6xx substrate) -------------------------
+
+    def _taint_nodes(self) -> Iterator[tuple[ast.AST, ast.AST | None]]:
+        """``(node, parent)`` pairs of the body, skipping nested defs."""
+        stack: list[tuple[ast.AST, ast.AST | None]] = [(self.fn, None)]
+        while stack:
+            node, parent = stack.pop()
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not self.fn
+            ):
+                continue
+            yield node, parent
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, node))
+
+    def _witness(self, node: ast.AST) -> tuple[str, dict | None] | None:
+        """Describe ``node`` as a witnessed unordered collection.
+
+        Returns ``(description, via)``: a direct witness (set literal,
+        set comprehension, ``set``/``frozenset`` construction, a local
+        assigned from one) carries ``via=None``; a call to anything else
+        carries its call reference as ``via`` so the rules can resolve
+        it to an internal function and consult ``returns_unordered``.
+        ``None`` means not witnessed unordered.
+        """
+        if isinstance(node, ast.Set):
+            return ("a set literal", None)
+        if isinstance(node, ast.SetComp):
+            return ("a set comprehension", None)
+        if isinstance(node, ast.Name) and node.id in self.local_sets:
+            return (f"local set {node.id!r}", None)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _UNORDERED_CTORS:
+                    return (f"{func.id}(...)", None)
+                if func.id in _ORDER_SANITIZERS or func.id in _ORDERING_CONVERSIONS:
+                    return None
+            ref = _call_ref(node, self.local_types)
+            if ref is not None:
+                return ("the call's result", ref)
+        return None
+
+    @staticmethod
+    def _sanitized(node: ast.AST, parent: ast.AST | None) -> bool:
+        """Whether ``node`` sits in an order-neutralizing call position."""
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_SANITIZERS
+            and node in parent.args
+        )
+
+    def _record_taint(self, kind: str, node: ast.AST, **extra) -> None:
+        fact = {"kind": kind, "line": node.lineno, "col": node.col_offset}
+        fact.update(extra)
+        self.summary.taint.append(fact)
+
+    def _witnessed_iteration(self, iter_node: ast.AST, how: str) -> None:
+        wit = self._witness(iter_node)
+        if wit is None:
+            return
+        desc, via = wit
+        self._record_taint(
+            "unordered-iter", iter_node, desc=desc, how=how, via=via
+        )
+
+    def _taint_call(self, node: ast.Call, parent: ast.AST | None) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if (
+                func.id in _IDENTITY_BUILTINS
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                self._record_taint(
+                    "identity",
+                    node,
+                    fn=func.id,
+                    literal=isinstance(node.args[0], ast.Constant),
+                )
+            elif func.id in _ORDERING_CONVERSIONS and node.args:
+                self._witnessed_iteration(
+                    node.args[0], f"materialized by {func.id}(...)"
+                )
+            elif func.id == "sum" and node.args:
+                arg = node.args[0]
+                wit = self._witness(arg)
+                if wit is None and isinstance(
+                    arg, (ast.GeneratorExp, ast.ListComp)
+                ):
+                    for gen in arg.generators:
+                        wit = self._witness(gen.iter)
+                        if wit is not None:
+                            break
+                if wit is not None:
+                    desc, via = wit
+                    self._record_taint("float-accum", node, desc=desc, via=via)
+        elif isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
+            self._witnessed_iteration(node.args[0], "joined into a string")
+
+    def _ambient_read(self, node: ast.AST, parent: ast.AST | None) -> None:
+        """Record reads of ambient process state (``os.environ[...]``)."""
+        if isinstance(parent, ast.Call) and parent.func is node:
+            return  # the call fact covers it (resolved as an ext chain)
+        if isinstance(parent, ast.Attribute):
+            return  # the outermost attribute in the chain reports
+        if isinstance(parent, ast.Subscript) and parent.value is node:
+            return
+        target = node.value if isinstance(node, ast.Subscript) else node
+        chain = _chain_of(target)
+        if chain is None:
+            return
+        dotted = ".".join(chain)
+        for prefix in _AMBIENT_ATTRS:
+            if dotted == prefix or dotted.startswith(prefix + "."):
+                self._record_taint("ambient-attr", node, chain=dotted)
+                return
+
+    def _scan_taint(self) -> None:
+        """One body pass collecting the :data:`FACT_KINDS` taint facts."""
+        for node, parent in self._taint_nodes():
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._witnessed_iteration(node.iter, "iterated by a for loop")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if self._sanitized(node, parent):
+                    continue
+                for gen in node.generators:
+                    self._witnessed_iteration(
+                        gen.iter, "iterated by a comprehension"
+                    )
+            elif isinstance(node, ast.Call):
+                self._taint_call(node, parent)
+            elif isinstance(node, (ast.Attribute, ast.Subscript)):
+                self._ambient_read(node, parent)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                wit = self._witness(node.value)
+                if wit is not None and wit[1] is None:
+                    self.summary.returns_unordered = True
+
+
+def _sink_decl(node: ast.FunctionDef | ast.AsyncFunctionDef) -> dict | None:
+    """The ``@determinism_critical`` declaration on a def, if present.
+
+    Detection is by decorator *name* — ``determinism_critical`` bare, as
+    a ``determinism_critical("key")`` call, or behind any attribute
+    chain — so fixture modules and vendored copies register statically
+    without the analyzer importing them.  The declared key is the first
+    string-literal argument; a bare decorator leaves ``key`` as ``None``
+    and the rules fall back to the function's qualname.
+    """
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        chain = _chain_of(target)
+        if chain is None or chain[-1] != "determinism_critical":
+            continue
+        key = None
+        if isinstance(dec, ast.Call) and dec.args:
+            arg = dec.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                key = arg.value
+        return {"key": key, "line": dec.lineno}
+    return None
+
 
 def summarize_module(
     tree: ast.Module,
@@ -720,7 +956,9 @@ def summarize_module(
                 scanner = _FunctionScanner(
                     child, qual, cls, nested, locks, module_globals
                 )
-                summary.functions.append(scanner.scan())
+                fn_summary = scanner.scan()
+                fn_summary.sink = _sink_decl(child)
+                summary.functions.append(fn_summary)
                 visit(child, qual + ".<locals>.", cls, True)
             elif isinstance(child, ast.ClassDef):
                 qual = f"{prefix}{child.name}"

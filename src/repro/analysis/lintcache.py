@@ -19,11 +19,15 @@ cache directory degrades to cold analysis, not a crash.
 
 Fingerprint recipe (any change ⇒ full miss for that file)::
 
-    sha256("repro-lintcache" | schema | engine | rule set
+    sha256("repro-lintcache" | schema | engine | fact kinds | rule set
            | file content sha | extra-inputs sha | file-set sha)
 
 - *engine* is :data:`repro.analysis.flow.ENGINE_VERSION` — bumping it
   invalidates every entry at once.
+- *fact kinds* is :data:`repro.analysis.flow.FACT_KINDS` — the taint
+  fact vocabulary the summaries carry; extending it (new witnesses for
+  the REP6xx determinism rules) re-extracts every summary even if the
+  engine version is left untouched.
 - *extra inputs* exist for the one rule whose verdict depends on other
   files: REP302 (docs catalog drift) anchors to
   ``analysis/diagnostics.py`` and reads the sibling ``analysis/*.py``
@@ -51,8 +55,9 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from .. import telemetry
+from ..determinism import determinism_critical
 from .diagnostics import Diagnostic, Severity
-from .flow import ENGINE_VERSION, ModuleSummary
+from .flow import ENGINE_VERSION, FACT_KINDS, ModuleSummary
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -154,6 +159,7 @@ class LintCache:
     # -- fingerprints ------------------------------------------------------
 
     @staticmethod
+    @determinism_critical("analysis.lintcache_fingerprint")
     def fingerprint(
         text: str,
         *,
@@ -182,6 +188,7 @@ class LintCache:
                 _MAGIC,
                 f"schema{SCHEMA_VERSION}",
                 f"engine{ENGINE_VERSION}",
+                "facts:" + ",".join(FACT_KINDS),
                 ",".join(sorted(rules)),
                 content,
                 extra,

@@ -1,0 +1,204 @@
+"""Interprocedural determinism-taint analysis over the flow graph.
+
+Every cache layer in the package keys on a fingerprint, and every
+fingerprint rests on the same unstated assumption: everything reachable
+from the key computation is bit-deterministic.  This module turns that
+assumption into a checked property.  Cache owners declare their key
+functions with :func:`repro.determinism.determinism_critical`; the
+summaries (:mod:`repro.analysis.flow`) record the declaration as a
+``sink`` fact plus the witnessed nondeterminism sources inside every
+function body (the :data:`~repro.analysis.flow.FACT_KINDS` taint
+facts); and this module links the two:
+
+* :func:`declared_sinks` collects every declared sink in the linked
+  :class:`~repro.analysis.flow.FlowGraph`;
+* :func:`sink_reach` walks call edges *forward from the sinks* — the
+  reached set is exactly the code whose behavior a fingerprint depends
+  on — keeping per-function provenance so the REP6xx rules
+  (:mod:`repro.analysis.taintrules`) can print the path from a finding
+  back to the contract it endangers.
+
+Like the flow rules, everything here consumes only serialized
+summaries, so warm (cache-served) and cold runs yield byte-identical
+findings.  Reachability is reported under the ``analysis.taint.reach``
+telemetry span with ``analysis.taint.sinks`` / ``reachable`` counters.
+"""
+
+from __future__ import annotations
+
+from .. import telemetry
+from .flow import FlowGraph
+
+__all__ = [
+    "AMBIENT_CALLS",
+    "AMBIENT_PREFIXES",
+    "SINK_NAME_EXACT",
+    "SINK_NAME_SUBSTRINGS",
+    "SINK_NAME_SUFFIXES",
+    "declared_sinks",
+    "is_ambient_chain",
+    "looks_like_sink",
+    "sink_key",
+    "sink_path",
+    "sink_reach",
+]
+
+#: External dotted chains whose return value depends on ambient process
+#: state — clocks, environment, filesystem enumeration order, host
+#: identity, or hidden RNG state.  Exact-match, like the flow engine's
+#: blocking-call registry: a chain the summaries cannot canonicalize is
+#: never flagged.
+AMBIENT_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.getenv",
+        "os.getcwd",
+        "os.getpid",
+        "os.urandom",
+        "os.listdir",
+        "os.scandir",
+        "os.walk",
+        "glob.glob",
+        "glob.iglob",
+        "locale.getlocale",
+        "locale.getdefaultlocale",
+        "locale.getpreferredencoding",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "socket.gethostname",
+        "platform.node",
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.shuffle",
+        "random.sample",
+        "secrets.token_hex",
+        "secrets.token_bytes",
+        "secrets.token_urlsafe",
+    }
+)
+
+#: Prefixes matching *families* of ambient chains (``os.environ.get``,
+#: ``os.environ.items``, …) and the non-call ``ambient-attr`` facts.
+AMBIENT_PREFIXES: tuple[str, ...] = ("os.environ", "sys.argv")
+
+#: Public function names that *are* key material by convention — the
+#: REP605 heuristic.  Exact last-segment matches.
+SINK_NAME_EXACT = frozenset(
+    {"template_key", "cache_key", "content_key", "solver_signature"}
+)
+
+#: Substrings of the last name segment that mark key material.
+SINK_NAME_SUBSTRINGS: tuple[str, ...] = ("fingerprint",)
+
+#: Suffixes of the last name segment that mark key material.
+SINK_NAME_SUFFIXES: tuple[str, ...] = ("_fingerprint", "_cache_key", "_content_key")
+
+
+def looks_like_sink(name: str) -> bool:
+    """Whether a public function ``name`` reads as fingerprint/key material.
+
+    Matches the *last* qualname segment against
+    :data:`SINK_NAME_EXACT`, :data:`SINK_NAME_SUBSTRINGS`, and
+    :data:`SINK_NAME_SUFFIXES`.  Private names never match: REP605 only
+    polices the public convention.
+    """
+    last = name.rsplit(".", 1)[-1]
+    if last.startswith("_"):
+        return False
+    if last in SINK_NAME_EXACT:
+        return True
+    if any(sub in last for sub in SINK_NAME_SUBSTRINGS):
+        return True
+    return last.endswith(SINK_NAME_SUFFIXES)
+
+
+def is_ambient_chain(chain: str) -> bool:
+    """Whether external dotted ``chain`` reads ambient process state."""
+    if chain in AMBIENT_CALLS:
+        return True
+    return any(
+        chain == prefix or chain.startswith(prefix + ".")
+        for prefix in AMBIENT_PREFIXES
+    )
+
+
+def declared_sinks(graph: FlowGraph) -> dict[str, dict]:
+    """Every ``@determinism_critical`` declaration in ``graph``.
+
+    Maps function id → the summary's sink fact
+    (``{"key": str | None, "line": int}``).
+    """
+    return {
+        fid: fn.sink
+        for fid, fn in sorted(graph.functions.items())
+        if fn.sink is not None
+    }
+
+
+def sink_key(graph: FlowGraph, fid: str) -> str:
+    """The declared contract name of sink ``fid`` (qualname fallback)."""
+    fn = graph.functions[fid]
+    key = (fn.sink or {}).get("key")
+    if key:
+        return key
+    modname, qual = fid.split("::", 1)
+    return f"{modname}.{qual}"
+
+
+def sink_reach(graph: FlowGraph) -> dict[str, tuple[str, str | None, int]]:
+    """Functions whose behavior some declared sink depends on.
+
+    Forward reachability from every declared sink over resolved call
+    edges.  Maps each reached function id to
+    ``(sink_fid, caller_fid, line)`` provenance: the declared sink whose
+    key computation reaches it, the immediate caller along that path
+    (``None`` for the sink itself), and the call line — enough for the
+    rules to render the whole path via :func:`sink_path`.
+    """
+    with telemetry.span("analysis.taint.reach"):
+        origin: dict[str, tuple[str, str | None, int]] = {}
+        worklist: list[str] = []
+        sinks = declared_sinks(graph)
+        for fid in sinks:
+            origin[fid] = (fid, None, 0)
+            worklist.append(fid)
+        while worklist:
+            fid = worklist.pop()
+            sink_fid = origin[fid][0]
+            for callee, line, _col in graph.edges.get(fid, ()):
+                if callee not in origin:
+                    origin[callee] = (sink_fid, fid, line)
+                    worklist.append(callee)
+        telemetry.count("analysis.taint.sinks", len(sinks))
+        telemetry.count("analysis.taint.reachable", len(origin))
+        return origin
+
+
+def sink_path(
+    reach: dict[str, tuple[str, str | None, int]], fid: str
+) -> list[str]:
+    """The call path from ``fid`` back to its sink, sink first.
+
+    A list of function ids ``[sink, ..., fid]``; a sink's own path is
+    just ``[fid]``.
+    """
+    path = [fid]
+    seen = {fid}
+    current = fid
+    while True:
+        _sink, caller, _line = reach[current]
+        if caller is None or caller in seen:
+            return path[::-1]
+        path.append(caller)
+        seen.add(caller)
+        current = caller

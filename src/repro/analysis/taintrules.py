@@ -1,0 +1,454 @@
+"""The REP6xx determinism rules over declared sink reachability.
+
+These rules check the contract :mod:`repro.determinism` declares: every
+function a ``@determinism_critical`` cache key or fingerprint
+transitively calls must be bit-deterministic.  The substrate is the
+linked :class:`~repro.analysis.flow.FlowGraph` plus the taint facts the
+summaries carry (:data:`~repro.analysis.flow.FACT_KINDS`); like the
+REP5xx flow rules, nothing here touches an AST, so warm (cache-served)
+and cold runs produce byte-identical findings.
+
+=======  ========  =====================================================
+code     severity  finding
+=======  ========  =====================================================
+REP601   error     witnessed unordered ``set``/``frozenset`` iteration
+                   feeding ordered output inside a sink-reachable
+                   function (directly, or via an internal callee that
+                   returns a set)
+REP602   error     ambient process state (clock, ``os.environ``,
+                   filesystem enumeration, RNG, host identity) read in
+                   a sink-reachable function
+REP603   error     ``sum(...)`` accumulation over an unordered
+                   collection in a sink-reachable function —
+                   float addition is order-sensitive
+REP604   error     ``id()``/``hash()``/``repr()`` of a non-literal in a
+                   sink-reachable function (addresses and
+                   ``PYTHONHASHSEED`` salt leak into key material)
+REP605   error     public fingerprint-like function not registered as
+                   a determinism-critical sink; *info* when the linted
+                   tree declares no sinks at all (the analysis would
+                   otherwise pass vacuously)
+=======  ========  =====================================================
+
+Each rule runs under an ``analysis.taint.rule_<code>`` telemetry span;
+``analysis.taint.findings`` counts the surviving diagnostics.
+Suppression honors the same ``# nck: noqa[CODE]`` comments as every
+other codebase rule (the tables travel on the summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from .. import telemetry
+from .diagnostics import Diagnostic, RuleInfo, Severity
+from .flow import FlowGraph, ModuleSummary
+from .flowrules import _fn_label, _suppressed
+from .taint import (
+    declared_sinks,
+    is_ambient_chain,
+    looks_like_sink,
+    sink_key,
+    sink_path,
+    sink_reach,
+)
+
+__all__ = ["TAINT_RULES", "TaintContext", "run_taint_rules"]
+
+TAINT_RULES: dict[str, RuleInfo] = {}
+
+
+@dataclass
+class TaintContext:
+    """Everything one taint-rule pass sees.
+
+    ``sinks`` maps declared sink function ids to their sink facts;
+    ``reach`` the :func:`~repro.analysis.taint.sink_reach` provenance
+    map over ``graph``.
+    """
+
+    graph: FlowGraph
+    sinks: dict[str, dict]
+    reach: dict[str, tuple[str, str | None, int]]
+
+
+def _taint_rule(code: str, name: str, severity: Severity, summary: str):
+    """Register a taint rule (same registry shape as the flow rules)."""
+
+    def register(fn: Callable[[TaintContext], Iterator[Diagnostic]]):
+        TAINT_RULES[code] = RuleInfo(
+            code=code, name=name, severity=severity, summary=summary, check=fn
+        )
+        return fn
+
+    return register
+
+
+def _diag(
+    module: ModuleSummary,
+    code: str,
+    message: str,
+    *,
+    line: int,
+    column: int | None = None,
+    obj: str | None = None,
+    hint: str | None = None,
+) -> Diagnostic:
+    """Shorthand for a taint diagnostic located in ``module``."""
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        message=message,
+        source="codelint",
+        file=module.display_path,
+        line=line,
+        column=column,
+        obj=obj,
+        hint=hint,
+    )
+
+
+def _where(ctx: TaintContext, fid: str) -> str:
+    """Path evidence: where a finding sits relative to its sink."""
+    fn = ctx.graph.functions[fid]
+    sink_fid, caller, _line = ctx.reach[fid]
+    key = sink_key(ctx.graph, sink_fid)
+    if caller is None:
+        return f"declared determinism-critical sink '{key}' ('{fn.qual}')"
+    hops = sink_path(ctx.reach, fid)[1:-1]
+    via = (
+        " via " + " -> ".join(f"'{_fn_label(h)}'" for h in hops) if hops else ""
+    )
+    return f"'{fn.qual}', reachable from declared sink '{key}'{via}"
+
+
+def _resolve_unordered_via(
+    ctx: TaintContext, fid: str, via: dict | None
+) -> str | None:
+    """Resolve a fact's ``via`` call ref to a set-returning internal fn.
+
+    Returns the callee's label when the call provably hands back an
+    unordered collection (``returns_unordered`` on its summary), else
+    ``None`` — unresolvable and external calls are never flagged.
+    """
+    if via is None:
+        return None
+    resolved = ctx.graph.resolve_any(fid, via)
+    if resolved is None or resolved[0] != "fn":
+        return None
+    callee = ctx.graph.functions.get(resolved[1])
+    if callee is None or not callee.returns_unordered:
+        return None
+    return _fn_label(resolved[1])
+
+
+def _iter_reach(ctx: TaintContext) -> Iterator[tuple[str, ModuleSummary]]:
+    """Sink-reachable function ids with their owning modules, sorted."""
+    for fid in sorted(ctx.reach):
+        module = ctx.graph.module_of.get(fid)
+        if module is not None:
+            yield fid, module
+
+
+# ---------------------------------------------------------------------------
+# REP601 — unordered iteration reaches a sink
+# ---------------------------------------------------------------------------
+
+
+@_taint_rule(
+    "REP601",
+    "unordered-iteration-reaches-sink",
+    Severity.ERROR,
+    "set iteration feeds ordered output inside a sink-reachable function",
+)
+def _check_unordered_iteration(ctx: TaintContext) -> Iterator[Diagnostic]:
+    """REP601: witnessed set iteration in order-sensitive position.
+
+    Witnesses are set literals, set comprehensions, ``set``/``frozenset``
+    constructions, locals assigned from one, and — the interprocedural
+    hop — calls to internal functions whose summaries prove they return
+    a set.  Order-sensitive positions are ``for`` loops,
+    list/generator/dict comprehensions, ``list``/``tuple``
+    materialization, and ``str.join``; ``sorted``/``min``/``max`` and
+    set-to-set transforms sanitize.  Dict iteration is deliberately
+    *not* flagged: insertion order is a language guarantee since 3.7.
+    """
+    for fid, module in _iter_reach(ctx):
+        fn = ctx.graph.functions[fid]
+        for fact in fn.taint:
+            if fact["kind"] != "unordered-iter":
+                continue
+            desc = fact["desc"]
+            if fact.get("via") is not None:
+                callee = _resolve_unordered_via(ctx, fid, fact["via"])
+                if callee is None:
+                    continue
+                desc = f"the unordered set returned by '{callee}'"
+            yield _diag(
+                module,
+                "REP601",
+                f"{desc} is {fact['how']} in order-sensitive position "
+                f"inside {_where(ctx, fid)}; set iteration order varies "
+                "with PYTHONHASHSEED, so the computed key is not "
+                "reproducible",
+                line=fact["line"],
+                column=fact["col"],
+                obj=fn.qual,
+                hint="iterate sorted(...) instead, or keep the result "
+                "unordered end to end",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP602 — ambient state read in a key path
+# ---------------------------------------------------------------------------
+
+
+@_taint_rule(
+    "REP602",
+    "ambient-state-read-in-key-path",
+    Severity.ERROR,
+    "environment/clock/filesystem/RNG state read in a sink-reachable "
+    "function",
+)
+def _check_ambient_reads(ctx: TaintContext) -> Iterator[Diagnostic]:
+    """REP602: ambient process state inside the sink-reachable region.
+
+    Two witnesses: resolved external call chains in
+    :data:`~repro.analysis.taint.AMBIENT_CALLS` (clocks, ``os.getenv``,
+    directory listings, RNG draws, host identity), and the non-call
+    ``ambient-attr`` facts (``os.environ[...]`` subscripts and reads).
+    Any of them makes the derived key depend on when/where the process
+    runs rather than on its inputs.
+    """
+    for fid, module in _iter_reach(ctx):
+        fn = ctx.graph.functions[fid]
+        for call in fn.calls:
+            resolved = ctx.graph.resolve_any(fid, call["ref"])
+            if (
+                resolved is None
+                or resolved[0] != "ext"
+                or not is_ambient_chain(resolved[1])
+            ):
+                continue
+            yield _diag(
+                module,
+                "REP602",
+                f"ambient state read '{resolved[1]}' in {_where(ctx, fid)}; "
+                "clock/environment/filesystem state varies between runs, "
+                "so the computed key is not reproducible",
+                line=call["line"],
+                column=call["col"],
+                obj=fn.qual,
+                hint="thread the value in as an explicit argument instead "
+                "of reading process state inside the key computation",
+            )
+        for fact in fn.taint:
+            if fact["kind"] != "ambient-attr":
+                continue
+            yield _diag(
+                module,
+                "REP602",
+                f"ambient state read '{fact['chain']}' in "
+                f"{_where(ctx, fid)}; environment contents vary between "
+                "runs, so the computed key is not reproducible",
+                line=fact["line"],
+                column=fact["col"],
+                obj=fn.qual,
+                hint="thread the value in as an explicit argument instead "
+                "of reading process state inside the key computation",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP603 — order-sensitive float accumulation
+# ---------------------------------------------------------------------------
+
+
+@_taint_rule(
+    "REP603",
+    "order-sensitive-float-accumulation",
+    Severity.ERROR,
+    "sum() over an unordered collection in a sink-reachable function",
+)
+def _check_float_accumulation(ctx: TaintContext) -> Iterator[Diagnostic]:
+    """REP603: ``sum`` over a witnessed unordered collection.
+
+    Float addition is not associative: summing the same set of floats
+    in two different hash orders can produce results differing in the
+    last ulps, which a fingerprint then amplifies into a full cache
+    miss — or worse, two distinct keys for one artifact.  ``math.fsum``
+    (exactly rounded, order-independent) and summing over ``sorted(...)``
+    are the sanctioned forms and are never flagged.
+    """
+    for fid, module in _iter_reach(ctx):
+        fn = ctx.graph.functions[fid]
+        for fact in fn.taint:
+            if fact["kind"] != "float-accum":
+                continue
+            desc = fact["desc"]
+            if fact.get("via") is not None:
+                callee = _resolve_unordered_via(ctx, fid, fact["via"])
+                if callee is None:
+                    continue
+                desc = f"the unordered set returned by '{callee}'"
+            yield _diag(
+                module,
+                "REP603",
+                f"float accumulation over {desc} in {_where(ctx, fid)}; "
+                "float addition is not associative, so the sum — and any "
+                "key derived from it — depends on set iteration order",
+                line=fact["line"],
+                column=fact["col"],
+                obj=fn.qual,
+                hint="sum over sorted(...) or use math.fsum for an "
+                "order-independent, exactly rounded result",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP604 — identity-based key material
+# ---------------------------------------------------------------------------
+
+_IDENTITY_DETAIL = {
+    "id": "id(...) bakes the object's memory address into key material",
+    "hash": "builtin hash(...) is salted by PYTHONHASHSEED for str/bytes "
+    "keys, so its value changes every process",
+    "repr": "repr(...) of an arbitrary object can fall back to the "
+    "default object.__repr__, which embeds the memory address",
+}
+
+_IDENTITY_HINT = {
+    "id": "derive the key from the object's *contents*, not its identity",
+    "hash": "use hashlib over a canonical byte serialization instead",
+    "repr": "serialize known-stable fields explicitly (json.dumps with "
+    "sort_keys) or guard against the default object.__repr__",
+}
+
+
+@_taint_rule(
+    "REP604",
+    "identity-based-key-material",
+    Severity.ERROR,
+    "id()/hash()/repr() of a non-literal in a sink-reachable function",
+)
+def _check_identity_material(ctx: TaintContext) -> Iterator[Diagnostic]:
+    """REP604: process-local identity leaking into key material.
+
+    ``id()`` is an address; builtin ``hash()`` of str/bytes is salted
+    per process; ``repr()`` of an arbitrary object may be the default
+    ``object.__repr__`` — ``<Foo object at 0x7f...>`` — which differs
+    every run.  Literal arguments (``repr("x")``, ``hash(3)``) are
+    deterministic and never flagged.
+    """
+    for fid, module in _iter_reach(ctx):
+        fn = ctx.graph.functions[fid]
+        for fact in fn.taint:
+            if fact["kind"] != "identity" or fact["literal"]:
+                continue
+            builtin = fact["fn"]
+            yield _diag(
+                module,
+                "REP604",
+                f"{_IDENTITY_DETAIL[builtin]} in {_where(ctx, fid)}",
+                line=fact["line"],
+                column=fact["col"],
+                obj=fn.qual,
+                hint=_IDENTITY_HINT[builtin],
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP605 — undeclared sink / vacuous analysis
+# ---------------------------------------------------------------------------
+
+
+@_taint_rule(
+    "REP605",
+    "undeclared-determinism-sink",
+    Severity.ERROR,
+    "public fingerprint-like function not registered as a "
+    "determinism-critical sink",
+)
+def _check_undeclared_sinks(ctx: TaintContext) -> Iterator[Diagnostic]:
+    """REP605: the registry must cover every public key computation.
+
+    A public function whose name reads as key material
+    (:func:`~repro.analysis.taint.looks_like_sink`: ``*fingerprint*``,
+    ``template_key``, ``cache_key``, ``solver_signature``, …) but
+    carries no ``@determinism_critical`` declaration escapes REP601–604
+    entirely — the analysis only walks *declared* roots.  And when the
+    linted tree declares no sinks at all, a clean pass would be
+    vacuous, so that degenerate case is reported as an info diagnostic
+    instead of silence (the same no-silent-skip posture as REP302's
+    missing-catalog case).
+    """
+    if not ctx.sinks:
+        yield Diagnostic(
+            code="REP605",
+            severity=Severity.INFO,
+            message="no sinks declared — taint analysis vacuous: nothing "
+            "in the linted tree carries @determinism_critical, so "
+            "REP601-REP604 checked nothing",
+            source="codelint",
+            obj="REP605",
+            hint="declare cache keys and fingerprints with "
+            "repro.determinism.determinism_critical to put them under "
+            "analysis",
+        )
+        return
+    for fid in sorted(ctx.graph.functions):
+        fn = ctx.graph.functions[fid]
+        if fn.sink is not None or fn.nested:
+            continue
+        if not looks_like_sink(fn.qual):
+            continue
+        module = ctx.graph.module_of[fid]
+        yield _diag(
+            module,
+            "REP605",
+            f"public fingerprint-like function '{fn.qual}' is not "
+            "registered as a determinism-critical sink, so the REP6xx "
+            "determinism rules never inspect its call tree",
+            line=fn.lineno,
+            obj=fn.qual,
+            hint="decorate it with @determinism_critical('<key>') from "
+            "repro.determinism, or rename it if it is not key material",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_taint_rules(
+    graph: FlowGraph, rules: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Run the selected REP6xx rules over ``graph``, report-sorted.
+
+    ``rules`` restricts to specific codes (default: all taint rules).
+    Suppressions (per-line and file-level noqa, carried on the module
+    summaries) are applied here so cached and fresh summaries behave
+    identically — the same contract as
+    :func:`~repro.analysis.flowrules.run_flow_rules`.
+    """
+    selected = set(rules) if rules is not None else set(TAINT_RULES)
+    ctx = TaintContext(
+        graph=graph, sinks=declared_sinks(graph), reach=sink_reach(graph)
+    )
+    by_display = {m.display_path: m for m in graph.modules.values()}
+    diagnostics: list[Diagnostic] = []
+    for code in sorted(TAINT_RULES):
+        if code not in selected:
+            continue
+        info = TAINT_RULES[code]
+        with telemetry.span(f"analysis.taint.rule_{code.lower()}"):
+            for diag in info.check(ctx):
+                module = by_display.get(diag.file or "")
+                if module is not None and _suppressed(module, diag):
+                    continue
+                diagnostics.append(diag)
+    telemetry.count("analysis.taint.findings", len(diagnostics))
+    return sorted(diagnostics, key=Diagnostic.sort_key)

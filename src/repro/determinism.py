@@ -1,0 +1,152 @@
+"""Declared determinism contracts for cache keys and fingerprints.
+
+Every cache layer in this reproduction — the compile pipeline's
+template cache (:func:`repro.compile.cache.template_key` over
+:func:`repro.core.symmetry.cache_key`), the certificate store
+(:func:`repro.analysis.certify.qubo_fingerprint` and its profile keys),
+the service layer's request/result memoization
+(:func:`repro.service.cache.request_fingerprint`,
+:func:`repro.service.cache.solver_signature`), and the lint cache
+(:meth:`repro.analysis.lintcache.LintCache.fingerprint`) — rests on one
+assumption: everything reachable from the key computation is
+bit-deterministic, so a warm hit is byte-identical to a cold miss.
+
+This module makes that assumption *declared* instead of implicit.  A
+cache owner marks its key/fingerprint function with
+:func:`determinism_critical`, naming the contract::
+
+    from repro.determinism import determinism_critical
+
+    @determinism_critical("service.request_fingerprint")
+    def request_fingerprint(env, compile_options=None) -> str:
+        ...
+
+The decorator is behaviorally inert — it registers a
+:class:`SinkContract` and returns the function unchanged — but the
+declaration is load-bearing twice over:
+
+* **statically**, the taint analysis (:mod:`repro.analysis.taint`)
+  treats every decorated function as a *sink* and walks its transitive
+  callees for nondeterminism sources (unordered ``set`` iteration,
+  ambient environment/clock reads, ``id()``/``hash()``/``repr()`` key
+  material, order-sensitive float accumulation), reported as the
+  REP601–REP605 rules of ``python -m repro lint --self``;
+* **dynamically**, the registry enumerates every contract so a single
+  test can recompute each sink's output under ``PYTHONHASHSEED``
+  variation and assert byte-identity (see
+  ``tests/test_analysis_taint.py``).
+
+The registry is keyed by the contract name, not the function object, so
+re-importing a module re-registers idempotently while two *different*
+functions claiming one key fail loudly.
+
+This module deliberately imports nothing from the rest of the package:
+it must be importable from any layer (including :mod:`repro.core`)
+without creating a cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = [
+    "DECLARING_MODULES",
+    "SinkContract",
+    "determinism_critical",
+    "load_declared_sinks",
+    "registered_sinks",
+]
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Modules known to declare determinism-critical sinks at import time.
+#: :func:`load_declared_sinks` imports these so the registry is complete
+#: even when a caller has only touched part of the package.
+DECLARING_MODULES: tuple[str, ...] = (
+    "repro.core.symmetry",
+    "repro.compile.cache",
+    "repro.compile.program",
+    "repro.analysis.certify",
+    "repro.analysis.lintcache",
+    "repro.service.cache",
+    "repro.service.jobs",
+)
+
+
+@dataclass(frozen=True)
+class SinkContract:
+    """One declared determinism-critical sink.
+
+    ``key`` is the stable contract name (``"service.request_fingerprint"``),
+    ``module``/``qualname`` locate the implementing callable for reports
+    and the dynamic cross-check.
+    """
+
+    key: str
+    module: str
+    qualname: str
+
+
+_SINKS: dict[str, SinkContract] = {}
+
+
+def determinism_critical(key: str) -> Callable[[_F], _F]:
+    """Declare the decorated callable a determinism-critical sink.
+
+    Parameters
+    ----------
+    key:
+        Stable dotted contract name (``"compile.template_key"``).  Two
+        different functions registering the same key raise
+        ``ValueError``; the same function re-registering (module reload)
+        is idempotent.
+
+    The callable is returned unchanged — no wrapper, no call overhead —
+    because the contract is consumed by the static analysis and the
+    registry, not at call time.  Stack it *under* ``@property`` or
+    ``@staticmethod`` so it sees the raw function.
+    """
+
+    def register(fn: _F) -> _F:
+        contract = SinkContract(
+            key=key,
+            module=getattr(fn, "__module__", "") or "",
+            qualname=getattr(fn, "__qualname__", "") or key,
+        )
+        existing = _SINKS.get(key)
+        if existing is not None and existing != contract:
+            raise ValueError(
+                f"determinism-critical key {key!r} is already registered by "
+                f"{existing.module}.{existing.qualname}; refusing to rebind "
+                f"it to {contract.module}.{contract.qualname}"
+            )
+        _SINKS[key] = contract
+        return fn
+
+    return register
+
+
+def registered_sinks() -> dict[str, SinkContract]:
+    """The sink contracts registered so far, keyed and sorted by name.
+
+    Only reflects modules already imported; use
+    :func:`load_declared_sinks` for the package-complete view.
+    """
+    return dict(sorted(_SINKS.items()))
+
+
+def load_declared_sinks() -> dict[str, SinkContract]:
+    """Import every known declaring module, then return the registry.
+
+    Modules that fail to import (stripped installs, optional deps) are
+    skipped — the static REP605 rule separately guards against the
+    registry being silently empty.
+    """
+    for modname in DECLARING_MODULES:
+        try:
+            importlib.import_module(modname)
+        except Exception:
+            continue
+    return registered_sinks()

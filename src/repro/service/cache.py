@@ -37,12 +37,15 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Hashable
 
+from ..determinism import determinism_critical
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.env import Env
 
 __all__ = ["LRUCache", "request_fingerprint", "solver_signature"]
 
 
+@determinism_critical("service.request_fingerprint")
 def request_fingerprint(env: "Env", compile_options: dict | None = None) -> str:
     """Canonical content hash of an NchooseK program + compile options.
 
@@ -76,9 +79,26 @@ def request_fingerprint(env: "Env", compile_options: dict | None = None) -> str:
 
 def _canonical_options(options: dict | None) -> list:
     """Compile options as a sorted, JSON-stable item list."""
-    return sorted((k, repr(v)) for k, v in (options or {}).items())
+    return sorted((k, _stable_option(v)) for k, v in (options or {}).items())
 
 
+def _stable_option(value: Any) -> str:
+    """A repr of one option value that is provably content-based.
+
+    The default ``object.__repr__`` embeds the instance's memory
+    address, which would put a process-local identity into the request
+    fingerprint — the exact defect REP604 exists to catch.  Reject such
+    values loudly instead of silently poisoning the cache key.
+    """
+    if type(value).__repr__ is object.__repr__:
+        raise TypeError(
+            f"compile option value {value!r} has no content-based repr; "
+            "pass a primitive or a type with a stable __repr__"
+        )
+    return repr(value)  # nck: noqa[REP604]
+
+
+@determinism_critical("service.solver_signature")
 def solver_signature(
     backends: Any,
     strategy: Any,

@@ -1,0 +1,20 @@
+"""Seeded REP602 defects: ambient process state in key material."""
+
+import os
+import time
+
+from repro.determinism import determinism_critical
+
+
+@determinism_critical("fixture.ambient_fingerprint")
+def ambient_fingerprint(payload):
+    """Declared sink reading clock, environment, and filesystem state."""
+    stamp = time.time()  # seeded REP602: clock read
+    region = os.environ["REGION"]  # seeded REP602: environment subscript
+    return f"{payload}:{stamp}:{region}:{_host_tag()}"
+
+
+def _host_tag():
+    """Directory enumeration order is filesystem-dependent."""
+    entries = os.listdir(".")  # seeded REP602: filesystem enumeration
+    return entries[0] if entries else ""

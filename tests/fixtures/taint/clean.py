@@ -1,0 +1,34 @@
+"""Clean determinism idioms: negatives the REP6xx rules must not flag."""
+
+import hashlib
+import json
+import math
+
+import helpers
+
+from repro.determinism import determinism_critical
+
+
+@determinism_critical("fixture.clean_fingerprint")
+def clean_fingerprint(tags, weights, options):
+    """Every sanctioned idiom at once, inside a declared sink."""
+    names = ",".join(sorted(tags))  # clean: sorted set
+    total = math.fsum(weights)  # clean: order-independent accumulation
+    ordered = {k: options[k] for k in sorted(options)}  # clean: sorted keys
+    labels = list(helpers.ordered_nodes())  # clean: helper returns sorted
+    blob = json.dumps(
+        {
+            "names": names,
+            "total": round(total, 9),
+            "options": ordered,
+            "labels": labels,
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def label_count(tags):
+    """Cardinality is order-insensitive, so len() over a set is clean."""
+    pool = set(tags)
+    return len(pool)  # clean: len() sanitizes

@@ -1,0 +1,22 @@
+"""Seeded REP603 defect: order-sensitive float accumulation."""
+
+import math
+
+from repro.determinism import determinism_critical
+
+
+@determinism_critical("fixture.weights_fingerprint")
+def weights_fingerprint(weights):
+    """Declared sink summing floats out of an unordered collection."""
+    return f"{_mass(weights):.9f}:{_exact_mass(weights):.9f}"
+
+
+def _mass(weights):
+    """Accumulates in hash order — the last ulps vary per process."""
+    pool = set(weights)
+    return sum(pool)  # seeded REP603: sum over a set-typed local
+
+
+def _exact_mass(weights):
+    """The sanctioned form: math.fsum is exactly rounded."""
+    return math.fsum(set(weights))  # clean: fsum, not sum

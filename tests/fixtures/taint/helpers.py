@@ -1,0 +1,11 @@
+"""Helper pool for the taint fixtures: the interprocedural hop."""
+
+
+def active_nodes():
+    """Provably returns a set — callers iterating this are tainted."""
+    return {"a", "b", "c"}
+
+
+def ordered_nodes():
+    """Returns a sorted list — callers iterating this are clean."""
+    return sorted({"a", "b", "c"})

@@ -1,0 +1,13 @@
+"""Seeded REP604 defects: process-local identity in key material."""
+
+from repro.determinism import determinism_critical
+
+
+@determinism_critical("fixture.identity_fingerprint")
+def identity_fingerprint(obj, name):
+    """Declared sink keying on addresses and salted hashes."""
+    a = id(obj)  # seeded REP604: memory address
+    b = hash(name)  # seeded REP604: PYTHONHASHSEED-salted builtin hash
+    c = repr(obj)  # seeded REP604: may fall back to object.__repr__
+    d = repr("literal")  # clean: literal argument is deterministic
+    return f"{a}:{b}:{c}:{d}"

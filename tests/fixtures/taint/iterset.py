@@ -1,0 +1,24 @@
+"""Seeded REP601 defects: unordered iteration feeding key material."""
+
+import helpers
+
+from repro.determinism import determinism_critical
+
+
+@determinism_critical("fixture.iterset_fingerprint")
+def iterset_fingerprint(names):
+    """Declared sink whose helpers iterate sets into ordered output."""
+    return "|".join(_collect(names))
+
+
+def _collect(names):
+    """Three defect shapes next to the clean idiom."""
+    pool = {n.strip() for n in names}
+    out = []
+    for name in pool:  # seeded REP601: for-loop over a set-typed local
+        out.append(name)
+    out.extend(list(helpers.active_nodes()))  # seeded REP601: set-returning helper
+    tags = set(names)
+    joined = ",".join(tags)  # seeded REP601: set joined into a string
+    ordered = ",".join(sorted(tags))  # clean: sorted() sanitizes
+    return out + [joined, ordered]

@@ -1,0 +1,19 @@
+"""Suppression fixture: seeded REP6xx defects muted file-wide."""
+# nck: noqa-file[REP601,REP602,REP603,REP604,REP605]
+
+import time
+
+from repro.determinism import determinism_critical
+
+
+@determinism_critical("fixture.muted_fingerprint")
+def muted_fingerprint(tags):
+    """Declared sink whose defects the file-level noqa mutes."""
+    stamp = time.time()  # seeded REP602 (suppressed)
+    joined = ",".join(set(tags))  # seeded REP601 (suppressed)
+    return f"{stamp}:{joined}"
+
+
+def stale_fingerprint(tags):
+    """Public fingerprint-like, undeclared — REP605 (suppressed)."""
+    return ",".join(sorted(tags))

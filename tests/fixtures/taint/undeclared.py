@@ -1,0 +1,15 @@
+"""Seeded REP605 defect: public key material with no declared contract."""
+
+import hashlib
+import json
+
+
+def report_fingerprint(payload):  # seeded REP605: fingerprint-like, undeclared
+    """Public fingerprint-like function escaping the taint analysis."""
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _draft_fingerprint(payload):
+    """Private names never match the REP605 heuristic."""
+    return report_fingerprint(payload)

@@ -351,6 +351,7 @@ class TestSelfLint:
             "REP101", "REP102", "REP201", "REP202", "REP203", "REP301",
             "REP302", "REP401",
             "REP501", "REP502", "REP503", "REP504", "REP505",
+            "REP601", "REP602", "REP603", "REP604", "REP605",
         }
 
     def test_flow_rules_join_the_shared_registry(self):
@@ -360,6 +361,15 @@ class TestSelfLint:
             "REP501", "REP502", "REP503", "REP504", "REP505",
         }
         for code, info in FLOW_RULES.items():
+            assert CODE_RULES[code] is info
+
+    def test_taint_rules_join_the_shared_registry(self):
+        from repro.analysis.taintrules import TAINT_RULES
+
+        assert set(TAINT_RULES) == {
+            "REP601", "REP602", "REP603", "REP604", "REP605",
+        }
+        for code, info in TAINT_RULES.items():
             assert CODE_RULES[code] is info
 
     def test_scoped_module_lists_point_at_real_files(self):

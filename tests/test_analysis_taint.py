@@ -1,0 +1,386 @@
+"""The REP6xx determinism-taint engine: fixtures, cache, registry, dynamic.
+
+The fixture corpus under ``tests/fixtures/taint/`` seeds every defect
+class the determinism rules claim to catch (each marked ``seeded
+REP6xx`` in the source) next to the clean idioms they must not flag;
+these tests pin the exact findings.  The cache tests prove the
+summaries-only contract (warm == cold findings *and* facts, byte for
+byte), the registry tests pin :mod:`repro.determinism`'s conflict and
+idempotence semantics, the real-tree test is the acceptance gate
+(``src/repro`` is REP6xx-clean with no baseline), and the slow dynamic
+test recomputes every registered sink's output under
+``PYTHONHASHSEED`` variation — the runtime half of the static claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.codelint import analyze_package, lint_package
+from repro.analysis.diagnostics import Severity, exit_code, gate
+from repro.analysis.flow import ModuleSummary
+from repro.analysis.lintcache import LintCache
+from repro.analysis.taint import declared_sinks
+from repro.analysis.taintrules import TAINT_RULES
+from repro.determinism import determinism_critical, load_declared_sinks
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "taint"
+SRC = pathlib.Path(__file__).parent.parent / "src"
+
+TAINT_CODES = tuple(sorted(TAINT_RULES))
+
+#: Every contract the shipped package declares; the registry and the
+#: dynamic probe must both cover exactly this set.
+EXPECTED_SINK_KEYS = {
+    "analysis.certificate_profile_key",
+    "analysis.lintcache_fingerprint",
+    "analysis.qubo_fingerprint",
+    "compile.constraint_cache_key",
+    "compile.program_fingerprint",
+    "compile.template_key",
+    "service.job_fingerprint",
+    "service.request_fingerprint",
+    "service.solver_signature",
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """One cold analysis of the seeded-defect corpus, shared per module."""
+    return analyze_package(FIXTURES)
+
+
+def by_code(result, code):
+    return [d for d in result.diagnostics if d.code == code]
+
+
+class TestFixtureCorpus:
+    """Each REP601-605 rule catches every seeded defect, nothing else."""
+
+    def test_seeded_defect_census(self, corpus):
+        tally = {}
+        for diag in corpus.diagnostics:
+            tally[diag.code] = tally.get(diag.code, 0) + 1
+        assert tally == {
+            "REP601": 3,
+            "REP602": 3,
+            "REP603": 1,
+            "REP604": 3,
+            "REP605": 1,
+        }
+
+    def test_rep601_local_interprocedural_and_join(self, corpus):
+        found = by_code(corpus, "REP601")
+        assert all(d.file == "iterset.py" for d in found)
+        assert {d.line for d in found} == {18, 20, 22}
+        messages = " | ".join(d.message for d in found)
+        # The local set comprehension, iterated by a for loop ...
+        assert "iterated by a for loop" in messages
+        # ... the interprocedural hop through a set-returning helper ...
+        assert "the unordered set returned by 'helpers.active_nodes'" in messages
+        assert "materialized by list(...)" in messages
+        # ... and the str.join over a locally-built set.
+        assert "joined into a string" in messages
+
+    def test_rep601_carries_sink_path_evidence(self, corpus):
+        found = by_code(corpus, "REP601")
+        # Findings inside a private helper name the declared sink they
+        # are reachable from — the interprocedural provenance.
+        evidence = [d for d in found if d.obj == "_collect"]
+        assert evidence
+        assert all(
+            "reachable from declared sink 'fixture.iterset_fingerprint'"
+            in d.message
+            for d in evidence
+        )
+
+    def test_rep602_clock_environ_and_listing(self, corpus):
+        found = by_code(corpus, "REP602")
+        assert all(d.file == "ambient.py" for d in found)
+        assert {d.line for d in found} == {12, 13, 19}
+        messages = " | ".join(d.message for d in found)
+        assert "ambient state read 'time.time'" in messages
+        assert "'os.environ'" in messages
+        assert "'os.listdir'" in messages
+
+    def test_rep603_sum_over_set(self, corpus):
+        (found,) = by_code(corpus, "REP603")
+        assert found.file == "floataccum.py" and found.line == 17
+        assert "float accumulation" in found.message
+        assert "not associative" in found.message
+        # math.fsum in _exact_mass is the sanctioned form — never flagged.
+        assert found.obj == "_mass"
+
+    def test_rep604_id_hash_repr_of_non_literals(self, corpus):
+        found = by_code(corpus, "REP604")
+        assert all(d.file == "identity.py" for d in found)
+        assert {d.line for d in found} == {9, 10, 11}
+        messages = " | ".join(d.message for d in found)
+        assert "memory address" in messages  # id(...)
+        assert "PYTHONHASHSEED" in messages  # hash(...)
+        assert "object.__repr__" in messages  # repr(...)
+        # repr("literal") is deterministic: exactly the three seeds fire.
+        assert len(found) == 3
+
+    def test_rep605_public_undeclared_fingerprint(self, corpus):
+        (found,) = by_code(corpus, "REP605")
+        assert found.file == "undeclared.py" and found.line == 7
+        assert found.obj == "report_fingerprint"
+        assert found.severity is Severity.ERROR
+        assert "not" in found.message and "registered" in found.message
+        # Private names never match the heuristic.
+        assert "_draft_fingerprint" not in found.message
+
+    def test_clean_module_has_no_findings(self, corpus):
+        assert not any(d.file == "clean.py" for d in corpus.diagnostics)
+
+    def test_noqa_file_suppresses_taint_findings(self, corpus):
+        assert not any(d.file == "suppressed.py" for d in corpus.diagnostics)
+
+    def test_all_findings_are_errors(self, corpus):
+        # The corpus declares sinks, so the vacuous-info branch of
+        # REP605 never fires here.
+        assert all(d.severity is Severity.ERROR for d in corpus.diagnostics)
+
+
+class TestVacuousAnalysis:
+    """A sinkless tree reports its vacuity instead of passing silently."""
+
+    def test_sinkless_tree_yields_one_info_diagnostic(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text(
+            '"""Fixture."""\n\n\ndef helper():\n    """Doc."""\n    return 1\n'
+        )
+        result = analyze_package(root)
+        (found,) = result.diagnostics
+        assert found.code == "REP605"
+        assert found.severity is Severity.INFO
+        assert found.file is None
+        assert "vacuous" in found.message
+        assert "determinism_critical" in (found.hint or "")
+
+    def test_vacuous_info_does_not_gate(self, tmp_path):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text(
+            '"""Fixture."""\n\n\ndef helper():\n    """Doc."""\n    return 1\n'
+        )
+        result = analyze_package(root)
+        assert exit_code(gate(result.diagnostics, Severity.INFO)) == 0
+
+
+class TestSummaryRoundTrip:
+    """Taint facts survive the cache's JSON serialization losslessly."""
+
+    def test_module_summary_round_trips_taint_facts(self, corpus):
+        modules = {m.display_path: m for m in corpus.graph.modules.values()}
+        module = modules["iterset.py"]
+        clone = ModuleSummary.from_dict(module.to_dict())
+        assert clone.to_dict() == module.to_dict()
+        fns = {f.qual: f for f in clone.functions}
+        assert fns["iterset_fingerprint"].sink == {
+            "key": "fixture.iterset_fingerprint",
+            "line": 8,
+        }
+        assert any(f["kind"] == "unordered-iter" for f in fns["_collect"].taint)
+
+    def test_returns_unordered_round_trips(self, corpus):
+        modules = {m.display_path: m for m in corpus.graph.modules.values()}
+        clone = ModuleSummary.from_dict(modules["helpers.py"].to_dict())
+        fns = {f.qual: f for f in clone.functions}
+        assert fns["active_nodes"].returns_unordered
+        assert not fns["ordered_nodes"].returns_unordered
+
+
+class TestIncrementalCache:
+    """Warm (cache-served) and cold runs agree byte for byte."""
+
+    def test_warm_run_is_identical_and_all_hits(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        cold = analyze_package(FIXTURES, cache=cache)
+        assert cache.misses == len(cold.changed) > 0
+        warm_cache = LintCache(tmp_path / "cache")
+        warm = analyze_package(FIXTURES, cache=warm_cache)
+        assert warm_cache.hits > 0 and warm_cache.misses == 0
+        assert [d.to_dict() for d in warm.diagnostics] == [
+            d.to_dict() for d in cold.diagnostics
+        ]
+
+    def test_warm_graph_carries_identical_taint_facts(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        cold = analyze_package(FIXTURES, cache=cache)
+        warm = analyze_package(FIXTURES, cache=LintCache(tmp_path / "cache"))
+
+        def facts(result):
+            return {
+                fid: (fn.sink, fn.taint, fn.returns_unordered)
+                for fid, fn in result.graph.functions.items()
+            }
+
+        cold_facts, warm_facts = facts(cold), facts(warm)
+        assert any(sink for sink, _, _ in cold_facts.values())
+        assert any(taint for _, taint, _ in cold_facts.values())
+        assert warm_facts == cold_facts
+        assert declared_sinks(warm.graph) == declared_sinks(cold.graph)
+
+    def test_taint_subset_has_its_own_fingerprints(self, tmp_path):
+        cache = LintCache(tmp_path / "cache")
+        analyze_package(FIXTURES, cache=cache)
+        subset_cache = LintCache(tmp_path / "cache")
+        subset = analyze_package(
+            FIXTURES, rules=("REP601",), cache=subset_cache
+        )
+        assert subset_cache.hits == 0
+        assert {d.code for d in subset.diagnostics} == {"REP601"}
+
+
+class TestRealTree:
+    """The acceptance pin: the shipped package is REP6xx-clean."""
+
+    def test_taint_rules_report_nothing_on_src_repro(self):
+        diags = lint_package(rules=TAINT_CODES)
+        assert diags == [], [d.render() for d in diags]
+
+    def test_real_tree_analysis_is_not_vacuous(self):
+        # A clean pass only means something if the sinks were found: the
+        # static scanner must see every shipped @determinism_critical
+        # declaration without importing anything.
+        result = analyze_package(rules=("REP605",))
+        sinks = declared_sinks(result.graph)
+        assert {fact["key"] for fact in sinks.values()} == EXPECTED_SINK_KEYS
+
+
+class TestRuntimeRegistry:
+    """The dynamic half: repro.determinism's registry semantics."""
+
+    def test_registry_covers_every_shipped_contract(self):
+        contracts = load_declared_sinks()
+        assert set(contracts) >= EXPECTED_SINK_KEYS
+        fingerprint = contracts["service.request_fingerprint"]
+        assert fingerprint.module == "repro.service.cache"
+        assert fingerprint.qualname == "request_fingerprint"
+
+    def test_reregistration_is_idempotent(self):
+        from repro.service.cache import request_fingerprint
+
+        decorated = determinism_critical("service.request_fingerprint")(
+            request_fingerprint
+        )
+        assert decorated is request_fingerprint
+
+    def test_conflicting_key_rebind_fails_loudly(self):
+        from repro.determinism import _SINKS
+
+        key = "test.conflict_probe"
+
+        @determinism_critical(key)
+        def first_fingerprint():
+            return "a"
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                @determinism_critical(key)
+                def second_fingerprint():
+                    return "b"
+        finally:
+            _SINKS.pop(key, None)
+
+
+class TestCli:
+    """``repro lint --self --sinks`` prints the contract table."""
+
+    def test_sinks_table_lists_every_contract(self, capsys):
+        assert main(["lint", "--self", "--sinks"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPECTED_SINK_KEYS:
+            assert key in out
+        assert "repro.service.cache.request_fingerprint" in out
+
+    def test_sinks_requires_self(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "3sat", "--sinks", "--n", "6"])
+        assert excinfo.value.code == 2
+
+
+# The probe recomputes every registered sink's output from one fixed
+# problem; the test runs it under two PYTHONHASHSEED values and
+# asserts byte-identity — the dynamic counterpart of REP601/REP604.
+_PROBE = textwrap.dedent(
+    """
+    import json
+    import sys
+
+    from repro.analysis.certify import _profile_cache_key, qubo_fingerprint
+    from repro.analysis.lintcache import LintCache
+    from repro.compile.cache import template_key
+    from repro.compile.program import compile_program
+    from repro.core.env import Env
+    from repro.core.symmetry import cache_key
+    from repro.determinism import load_declared_sinks
+    from repro.service.cache import request_fingerprint
+    from repro.service.jobs import SolveRequest
+
+    env = Env()
+    env.nck(["a", "b", "c"], [1, 2])
+    env.nck(["a"], [0], soft=True)
+    env.nck(["b", "c"], [1], soft=True)
+    program = compile_program(env, disk_cache=False, lint=False)
+    constraint = env.constraints[0]
+    request = SolveRequest(problem=env, timeout=1.5, retries=2, seed=7)
+    outputs = {
+        "analysis.certificate_profile_key": _profile_cache_key(
+            constraint, program.qubo, program.ancillas, 1.0
+        ),
+        "analysis.lintcache_fingerprint": LintCache.fingerprint(
+            "x = 1\\n", rules=("REP101", "REP601"), extra="a", fileset="f"
+        ),
+        "analysis.qubo_fingerprint": qubo_fingerprint(program.qubo),
+        "compile.constraint_cache_key": repr(cache_key(constraint)),
+        "compile.program_fingerprint": program.fingerprint,
+        "compile.template_key": repr(template_key(constraint, False)),
+        "service.job_fingerprint": request.fingerprint(),
+        "service.request_fingerprint": request_fingerprint(
+            env, {"hard_scale": 2.0}
+        ),
+        "service.solver_signature": request.signature(),
+    }
+    missing = sorted(set(load_declared_sinks()) - set(outputs))
+    if missing:
+        sys.exit(f"probe does not cover registered sinks: {missing}")
+    json.dump(outputs, sys.stdout, sort_keys=True, separators=(",", ":"))
+    """
+)
+
+
+@pytest.mark.slow
+class TestDynamicDeterminism:
+    """Every declared sink's output is PYTHONHASHSEED-independent."""
+
+    def _probe(self, seed: str) -> bytes:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = str(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", _PROBE],
+            capture_output=True,
+            env=env,
+            check=True,
+        )
+        return proc.stdout
+
+    def test_sink_outputs_are_hashseed_independent(self):
+        first = self._probe("0")
+        second = self._probe("1")
+        assert first == second
+        outputs = json.loads(first)
+        assert set(outputs) == EXPECTED_SINK_KEYS
+        assert all(outputs.values())
